@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on the simulated
+substrate, asserts its qualitative claim, prints the paper-style rows (visible
+with ``pytest benchmarks/ --benchmark-only -s``) and appends the numbers to
+``benchmarks/results/summary.json`` so that EXPERIMENTS.md can be refreshed
+from a single run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_recorder():
+    """Session-wide recorder that persists benchmark outputs as JSON."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "summary.json"
+    store: dict[str, object] = {}
+    if path.exists():
+        try:
+            store.update(json.loads(path.read_text()))
+        except json.JSONDecodeError:
+            pass
+
+    def record(experiment: str, payload: object) -> None:
+        store[experiment] = payload
+        path.write_text(json.dumps(store, indent=2, sort_keys=True))
+
+    yield record
+    path.write_text(json.dumps(store, indent=2, sort_keys=True))

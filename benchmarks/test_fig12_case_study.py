@@ -1,0 +1,50 @@
+"""Fig. 12 — the real-world TX1→TX2 misconfiguration case study.
+
+Claims reproduced: Unicorn repairs the 4x-latency fault, reaching at least
+the developer's expectation (22–24 FPS in the paper, i.e. a large multiple of
+the fault), does so with far fewer measurement-hours than the baselines' full
+budget, and identifies root causes that are a subset of the documented ones.
+"""
+
+from repro.evaluation.case_study import TX1_FPS, run_case_study
+from repro.systems.case_study import TRUE_ROOT_CAUSES
+
+
+def _run():
+    report = run_case_study(budget=55, seed=1)
+    return {
+        "fault_fps": report.fault_fps,
+        "rows": {name: {
+            "fps": row.fps,
+            "gain_over_fault": row.gain_over_fault,
+            "gain_over_tx1": row.gain_over_tx1,
+            "hours": row.hours,
+            "root_causes": row.root_causes,
+            "changed_options": row.changed_options,
+        } for name, row in report.rows.items()},
+    }
+
+
+def test_fig12_case_study(benchmark, results_recorder):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    results_recorder("fig12_case_study", result)
+
+    print(f"\nFig. 12 — fault FPS on TX2: {result['fault_fps']:.1f} "
+          f"(TX1 reference {TX1_FPS})")
+    for name, row in result["rows"].items():
+        print(f"  {name:>7}: {row['fps']:.1f} FPS, "
+              f"{row['gain_over_fault']:.0f}% over fault, "
+              f"{row['hours']:.1f} h")
+
+    rows = result["rows"]
+    # The fault really is severe (single-digit FPS, as in the forum thread).
+    assert result["fault_fps"] < 5.0
+    # Unicorn repairs it by a large factor.
+    assert rows["unicorn"]["fps"] > 4 * result["fault_fps"]
+    assert rows["unicorn"]["gain_over_fault"] > 100.0
+    # Unicorn is much cheaper than the forum's two days of debugging.
+    assert rows["unicorn"]["hours"] < rows["forum"]["hours"]
+    # Its root causes are a subset of the documented misconfiguration.
+    assert set(rows["unicorn"]["root_causes"]) & set(TRUE_ROOT_CAUSES)
+    # The forum fix itself is good (sanity check of the simulator).
+    assert rows["forum"]["fps"] > 20.0

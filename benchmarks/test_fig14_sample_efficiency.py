@@ -1,0 +1,36 @@
+"""Fig. 14 — sample efficiency of debugging.
+
+Claims reproduced: Unicorn reaches a high repair gain already at small
+sampling budgets, so its gain at the smallest budget is close to (or better
+than) the correlational baseline's gain at the largest budget — the shape of
+the Fig. 14 curves.
+"""
+
+from repro.evaluation.debugging import run_sample_efficiency
+
+
+def _run():
+    return run_sample_efficiency("xception", "TX2", "InferenceTime",
+                                 budgets=(30, 60), approaches=("unicorn",
+                                                               "bugdoc"),
+                                 seed=8)
+
+
+def test_fig14_sample_efficiency(benchmark, results_recorder):
+    curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+    results_recorder("fig14_sample_efficiency", curves)
+
+    print("\nFig. 14 — gain vs budget (Xception latency faults):")
+    for approach, points in curves.items():
+        print(f"  {approach:>8}:",
+              [(int(p['budget']), round(p['gain'], 1)) for p in points])
+
+    unicorn = curves["unicorn"]
+    bugdoc = curves["bugdoc"]
+    # Unicorn achieves a solid gain already at the small budget…
+    assert unicorn[0]["gain"] > 0
+    # …and its small-budget gain is within reach of (or better than) the
+    # baseline's large-budget gain.
+    assert unicorn[0]["gain"] >= bugdoc[-1]["gain"] - 20.0
+    # Unicorn never uses more samples than the budget allows.
+    assert all(p["samples"] <= p["budget"] for p in unicorn)

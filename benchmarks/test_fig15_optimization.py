@@ -1,0 +1,80 @@
+"""Fig. 15 — performance optimization against SMAC and PESMO.
+
+Claims reproduced: (a/b) Unicorn's best-found latency/energy is at least
+competitive with SMAC under the same measurement budget, and its best-so-far
+trace improves monotonically; (c/d) on the two-objective task Unicorn's
+Pareto front achieves a hypervolume error no worse than the PESMO-style
+baseline's by a wide margin.
+"""
+
+from repro.evaluation.optimization import (
+    run_multi_objective_comparison,
+    run_single_objective_comparison,
+)
+
+
+def test_fig15a_single_objective_latency(benchmark, results_recorder):
+    def _run():
+        return run_single_objective_comparison(
+            "xception", "TX2", "InferenceTime", budget=40,
+            initial_samples=15, seed=9)
+
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    results_recorder("fig15a_latency_optimization", {
+        "unicorn_best": comparison.unicorn_best(),
+        "smac_best": comparison.smac_best(),
+        "unicorn_trace": [t["InferenceTime"] for t in comparison.unicorn.trace],
+        "smac_trace": [t["InferenceTime"] for t in comparison.smac.trace],
+    })
+
+    print(f"\nFig. 15a — Xception latency: unicorn "
+          f"{comparison.unicorn_best():.1f}s vs smac "
+          f"{comparison.smac_best():.1f}s")
+
+    trace = [t["InferenceTime"] for t in comparison.unicorn.trace]
+    assert all(b2 <= b1 + 1e-9 for b1, b2 in zip(trace, trace[1:]))
+    # Competitive with SMAC (within 25% of its best, frequently better).
+    assert comparison.unicorn_best() <= comparison.smac_best() * 1.25
+
+
+def test_fig15b_single_objective_energy(benchmark, results_recorder):
+    def _run():
+        return run_single_objective_comparison(
+            "xception", "TX2", "Energy", budget=40, initial_samples=15,
+            seed=10)
+
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    results_recorder("fig15b_energy_optimization", {
+        "unicorn_best": comparison.unicorn_best(),
+        "smac_best": comparison.smac_best(),
+    })
+    print(f"\nFig. 15b — Xception energy: unicorn "
+          f"{comparison.unicorn_best():.1f}J vs smac "
+          f"{comparison.smac_best():.1f}J")
+    assert comparison.unicorn_best() <= comparison.smac_best() * 1.25
+
+
+def test_fig15cd_multi_objective(benchmark, results_recorder):
+    def _run():
+        return run_multi_objective_comparison(
+            "xception", "TX2", ["InferenceTime", "Energy"], budget=40,
+            initial_samples=15, seed=11)
+
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    results_recorder("fig15cd_multi_objective", {
+        "unicorn_hv_error": comparison.unicorn_hv_error,
+        "pesmo_hv_error": comparison.pesmo_hv_error,
+        "unicorn_front": comparison.unicorn_front,
+        "pesmo_front": comparison.pesmo_front,
+    })
+
+    print(f"\nFig. 15c/d — hypervolume error: unicorn "
+          f"{comparison.unicorn_hv_error:.3f} vs pesmo "
+          f"{comparison.pesmo_hv_error:.3f}; front sizes "
+          f"{len(comparison.unicorn_front)} vs {len(comparison.pesmo_front)}")
+
+    assert 0.0 <= comparison.unicorn_hv_error <= 1.0
+    assert comparison.unicorn_front
+    # Unicorn's front is no more than 0.2 hypervolume-error worse than the
+    # PESMO-style baseline (it is usually better).
+    assert comparison.unicorn_hv_error <= comparison.pesmo_hv_error + 0.2

@@ -1,0 +1,39 @@
+"""Fig. 16 — transferring the causal model across hardware for debugging.
+
+Claims reproduced: reusing the Xavier-learned model on TX2 with a small
+fine-tuning budget ("+25") achieves gains comparable to relearning from
+scratch while spending far fewer target-environment measurements, and is
+competitive with a full BugDoc rerun.
+"""
+
+from repro.evaluation.transferability import run_hardware_transfer
+
+
+def _run():
+    return run_hardware_transfer("xception", "Xavier", "TX2",
+                                 "Energy", budget=40, seed=12)
+
+
+def test_fig16_hardware_transfer(benchmark, results_recorder):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    results_recorder("fig16_hardware_transfer", {
+        name: vars(outcome) for name, outcome in outcomes.items()})
+
+    print("\nFig. 16 — Xception energy faults, Xavier -> TX2:")
+    for name, outcome in outcomes.items():
+        print(f"  {outcome.scenario:>18}: gain={outcome.gain:6.1f}% "
+              f"acc={outcome.accuracy:5.1f} hours={outcome.hours:.2f}")
+
+    reuse = outcomes["unicorn_reuse"]
+    fine_tune = outcomes["unicorn_fine_tune"]
+    rerun = outcomes["unicorn_rerun"]
+    bugdoc = outcomes["bugdoc_rerun"]
+
+    # Fine-tuning with a few target samples repairs the fault.
+    assert fine_tune.gain > 0
+    # Fine-tuning approaches the gain of a full rerun.
+    assert fine_tune.gain >= rerun.gain - 25.0
+    # Transfer modes spend fewer target-environment hours than BugDoc's full
+    # rerun budget.
+    assert reuse.hours <= bugdoc.hours
+    assert fine_tune.hours <= bugdoc.hours

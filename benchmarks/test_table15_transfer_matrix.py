@@ -1,0 +1,31 @@
+"""Table 15 (appendix) — transferring causal models across hardware pairs.
+
+Claims reproduced: for a second hardware pair (TX1 source → TX2 target,
+latency faults), reusing + fine-tuning the source model approaches the
+accuracy and gain of a full rerun in the target environment, i.e. the causal
+performance model is transferable.
+"""
+
+from repro.evaluation.transferability import run_hardware_transfer
+
+
+def _run():
+    return run_hardware_transfer("bert", "TX1", "TX2", "InferenceTime",
+                                 budget=40, seed=18, include_bugdoc=False)
+
+
+def test_table15_transfer_matrix_row(benchmark, results_recorder):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    results_recorder("table15_bert_tx1_to_tx2", {
+        name: vars(outcome) for name, outcome in outcomes.items()})
+
+    print("\nTable 15 — BERT latency faults, TX1 -> TX2:")
+    for name, outcome in outcomes.items():
+        print(f"  {outcome.scenario:>20}: gain={outcome.gain:6.1f}% "
+              f"acc={outcome.accuracy:5.1f} rec={outcome.recall:5.1f}")
+
+    fine_tune = outcomes["unicorn_fine_tune"]
+    rerun = outcomes["unicorn_rerun"]
+    assert fine_tune.gain > 0
+    assert fine_tune.gain >= rerun.gain - 30.0
+    assert fine_tune.recall >= rerun.recall - 30.0

@@ -1,0 +1,35 @@
+"""Table 2b — debugging multi-objective (latency + energy) faults on Xavier.
+
+Claims reproduced: Unicorn repairs multi-objective faults (positive gain on
+both objectives on average) and its root-cause accuracy is competitive with
+the correlational baselines, which need their full measurement budget.
+"""
+
+from repro.evaluation.debugging import run_debugging_comparison
+from repro.evaluation.tables import format_table
+
+APPROACHES = ("unicorn", "cbi", "encore", "bugdoc")
+
+
+def _run():
+    return run_debugging_comparison(
+        "xception", "Xavier", ["InferenceTime", "Energy"],
+        approaches=APPROACHES, n_faults=1, budget=45, initial_samples=18,
+        fault_samples=250, fault_percentile=96.0, seed=21)
+
+
+def test_table2b_multi_objective_debugging(benchmark, results_recorder):
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = comparison.rows()
+    results_recorder("table2b_xception_xavier_multi", rows)
+    print("\n" + format_table(
+        rows, title="Table 2b — Xception latency+energy faults on Xavier"))
+
+    unicorn = comparison.outcomes["unicorn"]
+    baselines = [comparison.outcomes[a] for a in APPROACHES if a != "unicorn"]
+
+    assert set(unicorn.gains) == {"InferenceTime", "Energy"}
+    assert unicorn.mean_gain > 0
+    assert unicorn.recall > 0
+    assert unicorn.accuracy > 10.0
+    assert unicorn.samples <= max(b.samples for b in baselines) + 1

@@ -1,0 +1,72 @@
+"""Multi-objective optimization of an on-device ML deployment.
+
+The scenario mirrors Fig. 15: find configurations of the Xception image
+recognition system (on a Jetson TX2) that trade off inference latency against
+energy.  We run Unicorn's causal optimizer and the SMAC / PESMO-style
+baselines under the same measurement budget and report the best
+configurations and the Pareto front.
+
+Run with:  python examples/optimize_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro import get_system
+from repro.baselines.pesmo import PESMOOptimizer
+from repro.baselines.smac import SMACOptimizer
+from repro.core.optimizer import UnicornOptimizer
+from repro.core.unicorn import UnicornConfig
+from repro.evaluation.relevant import relevant_options_for
+
+
+BUDGET = 40
+SEED = 2
+
+
+def main() -> None:
+    relevant = relevant_options_for("xception")
+
+    # --------------------------------------------------- single objective
+    print(f"Single-objective latency optimization (budget {BUDGET})…")
+    unicorn = UnicornOptimizer(
+        get_system("xception", hardware="TX2"),
+        UnicornConfig(initial_samples=15, budget=BUDGET, seed=SEED,
+                      relevant_options=relevant))
+    unicorn_result = unicorn.optimize(objectives=["InferenceTime"])
+
+    smac = SMACOptimizer(get_system("xception", hardware="TX2"),
+                         budget=BUDGET, initial_samples=15, seed=SEED,
+                         relevant_options=relevant)
+    smac_result = smac.optimize("InferenceTime")
+
+    print(f"  Unicorn best latency: "
+          f"{unicorn_result.best_objectives['InferenceTime']:.1f}s "
+          f"after {unicorn_result.samples_used} measurements")
+    print(f"  SMAC    best latency: "
+          f"{smac_result.best_objectives['InferenceTime']:.1f}s "
+          f"after {smac_result.samples_used} measurements\n")
+
+    # ----------------------------------------------------- multi objective
+    print("Multi-objective latency/energy optimization…")
+    unicorn_mo = UnicornOptimizer(
+        get_system("xception", hardware="TX2"),
+        UnicornConfig(initial_samples=15, budget=BUDGET, seed=SEED,
+                      relevant_options=relevant))
+    unicorn_mo_result = unicorn_mo.optimize(
+        objectives=["InferenceTime", "Energy"])
+
+    pesmo = PESMOOptimizer(get_system("xception", hardware="TX2"),
+                           budget=BUDGET, initial_samples=15, seed=SEED,
+                           relevant_options=relevant)
+    pesmo_result = pesmo.optimize(["InferenceTime", "Energy"])
+
+    print("  Unicorn Pareto points (latency, energy):")
+    for latency, energy in unicorn_mo_result.pareto_points(
+            ["InferenceTime", "Energy"])[:8]:
+        print(f"    ({latency:.1f}s, {energy:.1f}J)")
+    print(f"  Unicorn best trade-off: {unicorn_mo_result.best_objectives}")
+    print(f"  PESMO  best trade-off: {pesmo_result.best_objectives}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Reproduction of Unicorn (EuroSys '22).
+
+Unicorn reasons about the performance of highly configurable systems through
+causal inference: it learns a *causal performance model* over configuration
+options, low-level system events, and performance objectives, and uses that
+model to debug performance faults and optimize performance with very few
+measurements.
+
+The package is organised as a layered system:
+
+``repro.graph``
+    Mixed causal graphs (PAGs, ADMGs, DAGs), separation criteria and distances.
+``repro.stats``
+    Conditional-independence tests and entropy estimators used by discovery.
+``repro.discovery``
+    PC / FCI structure learning plus the entropic edge-orientation pipeline
+    that turns a PAG into a fully directed causal performance model.
+``repro.scm``
+    Structural causal models: mechanisms, sampling, interventions and
+    counterfactuals; also fitting structural equations to observed data.
+``repro.inference``
+    The causal inference engine: average/individual causal effects, causal
+    path extraction and ranking, repair sets and the query interface.
+``repro.systems``
+    The configurable-system simulator substrate: the six subject systems of
+    the paper, hardware environments, workloads, measurement and faults.
+``repro.core``
+    Unicorn itself: the five-stage active-learning loop, the debugger, the
+    optimizer and transfer-learning entry points.
+``repro.baselines``
+    Performance-influence models, CBI, DD, EnCore, BugDoc, SMAC and PESMO.
+``repro.metrics``
+    Evaluation metrics used across the paper's tables and figures.
+``repro.evaluation``
+    Experiment runners shared by the benchmark harness and the examples.
+"""
+
+from repro.core.unicorn import Unicorn, UnicornConfig
+from repro.core.debugger import DebugResult, UnicornDebugger
+from repro.core.optimizer import OptimizationResult, UnicornOptimizer
+from repro.inference.engine import CausalInferenceEngine
+from repro.inference.queries import PerformanceQuery, QueryKind
+from repro.scm.model import StructuralCausalModel
+from repro.systems.base import ConfigurableSystem, Environment, Measurement
+from repro.systems.registry import get_system, list_systems
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Unicorn",
+    "UnicornConfig",
+    "UnicornDebugger",
+    "UnicornOptimizer",
+    "DebugResult",
+    "OptimizationResult",
+    "CausalInferenceEngine",
+    "PerformanceQuery",
+    "QueryKind",
+    "StructuralCausalModel",
+    "ConfigurableSystem",
+    "Environment",
+    "Measurement",
+    "get_system",
+    "list_systems",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Baseline approaches Unicorn is compared against.
+
+Debugging baselines (Table 2, Fig. 14):
+
+* :class:`~repro.baselines.cbi.CBIDebugger` — statistical debugging with
+  predicate-based feature selection (Song & Lu).
+* :class:`~repro.baselines.delta_debugging.DeltaDebugger` — iterative delta
+  debugging over the difference between a faulty and a passing configuration.
+* :class:`~repro.baselines.encore.EnCoreDebugger` — correlational rule
+  learning over misconfiguration data.
+* :class:`~repro.baselines.bugdoc.BugDocDebugger` — decision-tree root-cause
+  inference over pipeline runs.
+
+Optimization baselines (Fig. 15, Fig. 17):
+
+* :class:`~repro.baselines.smac.SMACOptimizer` — sequential model-based
+  algorithm configuration with a random-forest surrogate.
+* :class:`~repro.baselines.pesmo.PESMOOptimizer` — multi-objective Bayesian
+  optimization (Pareto-hypervolume acquisition over per-objective surrogate
+  forests, standing in for predictive entropy search).
+
+Modeling baseline (Fig. 4, Fig. 5, Fig. 21):
+
+* :class:`~repro.baselines.influence_model.PerformanceInfluenceModel` —
+  stepwise polynomial regression with forward selection and backward
+  elimination, the standard performance-influence model of the literature.
+
+The machine-learning substrate the baselines need (CART decision trees and
+random forests) is implemented in :mod:`repro.baselines.trees`; the offline
+environment has no scikit-learn.
+"""
+
+from repro.baselines.trees import DecisionTreeClassifier, RandomForestRegressor, RegressionTree
+from repro.baselines.influence_model import PerformanceInfluenceModel
+from repro.baselines.cbi import CBIDebugger
+from repro.baselines.delta_debugging import DeltaDebugger
+from repro.baselines.encore import EnCoreDebugger
+from repro.baselines.bugdoc import BugDocDebugger
+from repro.baselines.smac import SMACOptimizer
+from repro.baselines.pesmo import PESMOOptimizer
+from repro.baselines.random_search import RandomSearchOptimizer
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RegressionTree",
+    "RandomForestRegressor",
+    "PerformanceInfluenceModel",
+    "CBIDebugger",
+    "DeltaDebugger",
+    "EnCoreDebugger",
+    "BugDocDebugger",
+    "SMACOptimizer",
+    "PESMOOptimizer",
+    "RandomSearchOptimizer",
+]

@@ -1,0 +1,82 @@
+"""BugDoc: decision-tree root-cause inference over pipeline runs.
+
+BugDoc (Lourenço et al.) explains failing computational-pipeline runs by
+fitting decision trees over run parameters and extracting succinct
+explanations from the paths that lead to failing leaves.  Our adaptation:
+
+* label the measured campaign as passing / failing (any objective in the bad
+  half of the distribution),
+* fit a CART classifier on the configuration options,
+* root causes are the options on the decision path of the *faulty*
+  configuration (falling back to the most important features of the tree),
+* the fix follows the tree to the purest passing leaf reachable by changing
+  as few of the faulty configuration's options as possible, then fills the
+  changed options with the corresponding values of the best passing run.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines.common import BaselineDebugger
+from repro.baselines.trees import DecisionTreeClassifier
+from repro.systems.base import Measurement
+
+
+class BugDocDebugger(BaselineDebugger):
+    """Decision-tree based debugging baseline."""
+
+    name = "bugdoc"
+
+    def __init__(self, *args, top_n_options: int = 5, max_depth: int = 6,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.top_n_options = top_n_options
+        self.max_depth = max_depth
+
+    def _diagnose(self, campaign: Sequence[Measurement],
+                  faulty_configuration: Mapping[str, float],
+                  faulty_measurement: Mapping[str, float],
+                  directions: Mapping[str, str]
+                  ) -> tuple[list[str], dict[str, float]]:
+        labels = self.label_campaign(campaign, directions)
+        matrix = self.campaign_matrix(campaign)
+        tree = DecisionTreeClassifier(max_depth=self.max_depth,
+                                      min_samples_leaf=2,
+                                      random_state=self.seed)
+        tree.fit(matrix, labels)
+
+        faulty_row = np.array([float(faulty_configuration.get(name, 0.0))
+                               for name in self.option_names])
+        path = tree.decision_path(faulty_row)
+        path_options: list[str] = []
+        for feature, _, _ in path:
+            name = self.option_names[feature]
+            if name not in path_options:
+                path_options.append(name)
+
+        importances = tree.feature_importances_
+        ranked_by_importance = [self.option_names[i]
+                                for i in np.argsort(importances)[::-1]
+                                if importances[i] > 0]
+        root_causes = list(path_options)
+        for name in ranked_by_importance:
+            if len(root_causes) >= self.top_n_options:
+                break
+            if name not in root_causes:
+                root_causes.append(name)
+        root_causes = root_causes[:self.top_n_options]
+
+        # Fix: adopt the best passing run's values for the explaining options.
+        passing_runs = [m for m, label in zip(campaign, labels) if label == 0]
+        if not passing_runs:
+            passing_runs = list(campaign)
+        best_passing = self.best_passing_configuration(passing_runs, directions)
+        fix = {}
+        for name in root_causes:
+            new_value = float(best_passing.configuration[name])
+            if new_value != float(faulty_configuration.get(name, np.nan)):
+                fix[name] = new_value
+        return root_causes, fix

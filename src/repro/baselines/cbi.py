@@ -1,0 +1,81 @@
+"""CBI: statistical debugging with predicate-based feature selection.
+
+Statistical debugging (Song & Lu's adaptation to performance problems) scores
+*predicates* — here, ``option == value`` atoms — by how much more often they
+hold in failing runs than in passing runs.  The classic CBI importance score
+for a predicate ``P`` combines
+
+* ``Failure(P)`` — the probability a run fails given ``P`` holds, and
+* ``Context(P)`` — the background failure probability among runs that reach
+  ``P`` (for configuration predicates: all runs),
+
+into ``Increase(P) = Failure(P) - Context(P)``, harmonically combined with the
+predicate's sensitivity (how many failing runs it explains).  Options hosting
+the top-scoring predicates are reported as root causes, and the fix sets each
+such option to the value whose predicate is most associated with passing runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines.common import BaselineDebugger
+from repro.systems.base import Measurement
+
+
+class CBIDebugger(BaselineDebugger):
+    """Cooperative-bug-isolation style statistical debugger."""
+
+    name = "cbi"
+
+    def __init__(self, *args, top_n_options: int = 5, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.top_n_options = top_n_options
+
+    def _diagnose(self, campaign: Sequence[Measurement],
+                  faulty_configuration: Mapping[str, float],
+                  faulty_measurement: Mapping[str, float],
+                  directions: Mapping[str, str]
+                  ) -> tuple[list[str], dict[str, float]]:
+        labels = self.label_campaign(campaign, directions)
+        total_failures = float(labels.sum())
+        context = total_failures / len(labels) if len(labels) else 0.0
+
+        option_scores: dict[str, float] = {}
+        passing_value: dict[str, float] = {}
+        for name in self.option_names:
+            values = np.array([m.configuration[name] for m in campaign])
+            best_importance = 0.0
+            best_pass_rate = -np.inf
+            best_value_for_pass = float(faulty_configuration.get(name, values[0]))
+            for value in np.unique(values):
+                holds = values == value
+                n_holds = int(holds.sum())
+                if n_holds == 0:
+                    continue
+                failure = float(labels[holds].mean())
+                increase = failure - context
+                sensitivity = float(labels[holds].sum())
+                if increase > 0 and sensitivity > 0:
+                    importance = 2.0 / (1.0 / increase
+                                        + np.log(total_failures + 1)
+                                        / np.log(sensitivity + 1 + 1e-9))
+                else:
+                    importance = 0.0
+                best_importance = max(best_importance, importance)
+                pass_rate = 1.0 - failure
+                if pass_rate > best_pass_rate:
+                    best_pass_rate = pass_rate
+                    best_value_for_pass = float(value)
+            option_scores[name] = best_importance
+            passing_value[name] = best_value_for_pass
+
+        ranked = sorted(option_scores, key=option_scores.get, reverse=True)
+        root_causes = [o for o in ranked if option_scores[o] > 0][:self.top_n_options]
+        if not root_causes:
+            root_causes = ranked[:self.top_n_options]
+        fix = {name: passing_value[name] for name in root_causes
+               if passing_value[name] != float(faulty_configuration.get(name, np.nan))}
+        return root_causes, fix

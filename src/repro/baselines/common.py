@@ -1,0 +1,154 @@
+"""Shared scaffolding for the debugging baselines.
+
+Every debugging baseline follows the same protocol as Unicorn's debugger so
+that Table 2 style comparisons are apples-to-apples:
+
+1. measure a campaign of configurations (the baseline's sampling budget —
+   the paper gives the correlational baselines the full 4-hour budget),
+2. diagnose root causes and derive a candidate fix from the campaign,
+3. measure the fix and report gains, accuracy inputs and resource usage in a
+   :class:`~repro.core.debugger.DebugResult`.
+
+Subclasses implement :meth:`BaselineDebugger._diagnose`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.debugger import DebugResult
+from repro.metrics.debugging import gain as gain_metric
+from repro.systems.base import ConfigurableSystem, Measurement
+
+
+class BaselineDebugger:
+    """Base class for correlational debugging baselines."""
+
+    #: Overridden by subclasses for reporting.
+    name = "baseline"
+
+    def __init__(self, system: ConfigurableSystem, budget: int = 100,
+                 n_repeats: int = 3, seed: int = 0,
+                 relevant_options: Sequence[str] | None = None) -> None:
+        self.system = system
+        self.budget = budget
+        self.n_repeats = n_repeats
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        names = system.space.option_names
+        if relevant_options is not None:
+            wanted = [o for o in relevant_options if o in names]
+            self.option_names = wanted or names
+        else:
+            self.option_names = names
+
+    # ------------------------------------------------------------------ API
+    def debug(self, faulty_configuration: Mapping[str, float],
+              faulty_measurement: Mapping[str, float] | None = None,
+              objectives: Sequence[str] | None = None) -> DebugResult:
+        started = time.perf_counter()
+        objective_names = list(objectives or self.system.objective_names)
+        directions = {o: self.system.objectives[o] for o in objective_names}
+        faulty_configuration = self.system.space.clamp(faulty_configuration)
+        if faulty_measurement is None:
+            faulty = self.system.measure(faulty_configuration,
+                                         n_repeats=self.n_repeats)
+            faulty_measurement = dict(faulty.objectives)
+
+        campaign_size = max(self.budget - 1, 4)
+        configs = self.system.space.sample_configurations(campaign_size,
+                                                          self._rng)
+        campaign = self.system.measure_many(configs, n_repeats=self.n_repeats,
+                                            rng=self._rng)
+
+        root_causes, fix = self._diagnose(campaign, faulty_configuration,
+                                          faulty_measurement, directions)
+        candidate = dict(faulty_configuration)
+        candidate.update(fix)
+        fixed_measurement = self.system.measure(candidate,
+                                                n_repeats=self.n_repeats,
+                                                rng=self._rng)
+
+        gains = {o: gain_metric(faulty_measurement[o],
+                                fixed_measurement.objectives[o],
+                                directions[o])
+                 for o in objective_names}
+        samples_used = len(campaign) + 1
+        elapsed = time.perf_counter() - started
+        return DebugResult(
+            system=self.system.name,
+            environment=self.system.environment.name,
+            objectives=directions,
+            faulty_configuration=dict(faulty_configuration),
+            faulty_measurement=dict(faulty_measurement),
+            recommended_configuration=dict(fixed_measurement.configuration),
+            recommended_measurement=dict(fixed_measurement.objectives),
+            root_causes=root_causes,
+            changed_options=sorted(fix),
+            gains=gains,
+            iterations=1,
+            samples_used=samples_used,
+            wall_clock_seconds=elapsed,
+            simulated_hours=(samples_used
+                             * self.system.measurement_cost_seconds / 3600.0),
+            fixed=all(g > 0 for g in gains.values()),
+            history=[])
+
+    # ----------------------------------------------------------- subclasses
+    def _diagnose(self, campaign: Sequence[Measurement],
+                  faulty_configuration: Mapping[str, float],
+                  faulty_measurement: Mapping[str, float],
+                  directions: Mapping[str, str]
+                  ) -> tuple[list[str], dict[str, float]]:
+        """Return (root-cause options, fix as option→value changes)."""
+        raise NotImplementedError  # pragma: no cover
+
+    # -------------------------------------------------------------- helpers
+    def label_campaign(self, campaign: Sequence[Measurement],
+                       directions: Mapping[str, str],
+                       percentile: float = 50.0) -> np.ndarray:
+        """Binary labels: 1 = "failing" (worse than the percentile), 0 = "passing".
+
+        A measurement is failing when *any* objective is in the bad half of
+        the campaign distribution.
+        """
+        labels = np.zeros(len(campaign))
+        thresholds = {}
+        for objective, direction in directions.items():
+            values = np.array([m.objectives[objective] for m in campaign])
+            if direction == "minimize":
+                thresholds[objective] = np.percentile(values, percentile)
+            else:
+                thresholds[objective] = np.percentile(values,
+                                                      100.0 - percentile)
+        for i, measurement in enumerate(campaign):
+            for objective, direction in directions.items():
+                value = measurement.objectives[objective]
+                bad = (value > thresholds[objective]
+                       if direction == "minimize"
+                       else value < thresholds[objective])
+                if bad:
+                    labels[i] = 1.0
+                    break
+        return labels
+
+    def objective_score(self, measurement: Measurement,
+                        directions: Mapping[str, str]) -> float:
+        """Scalar goodness of a measurement (higher is better)."""
+        score = 0.0
+        for objective, direction in directions.items():
+            value = measurement.objectives[objective]
+            score += -value if direction == "minimize" else value
+        return score
+
+    def best_passing_configuration(self, campaign: Sequence[Measurement],
+                                   directions: Mapping[str, str]
+                                   ) -> Measurement:
+        return max(campaign, key=lambda m: self.objective_score(m, directions))
+
+    def campaign_matrix(self, campaign: Sequence[Measurement]) -> np.ndarray:
+        return np.array([[m.configuration[name] for name in self.option_names]
+                         for m in campaign])

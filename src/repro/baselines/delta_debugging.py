@@ -1,0 +1,102 @@
+"""DD: iterative delta debugging over configuration differences.
+
+Delta debugging minimises the difference between a failing configuration and
+a passing one: starting from the set of options whose values differ between
+the faulty configuration and the best passing configuration of the campaign,
+the classic ``ddmin`` procedure repeatedly measures configurations in which
+only a subset of those differences is applied, keeping a subset whenever it
+is *sufficient* to fix the fault, until the difference set is 1-minimal.  The
+minimal difference set is reported as the root causes and applying it to the
+faulty configuration is the recommended fix.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.baselines.common import BaselineDebugger
+from repro.metrics.debugging import gain as gain_metric
+from repro.systems.base import Measurement
+
+
+class DeltaDebugger(BaselineDebugger):
+    """ddmin over the faulty-vs-passing configuration difference."""
+
+    name = "dd"
+
+    def __init__(self, *args, fix_gain_threshold: float = 10.0,
+                 max_probe_measurements: int = 24, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.fix_gain_threshold = fix_gain_threshold
+        self.max_probe_measurements = max_probe_measurements
+
+    # ------------------------------------------------------------------ impl
+    def _is_fixed(self, changes: Mapping[str, float],
+                  faulty_configuration: Mapping[str, float],
+                  faulty_measurement: Mapping[str, float],
+                  directions: Mapping[str, str]) -> bool:
+        """Measure the faulty configuration with ``changes`` applied."""
+        candidate = dict(faulty_configuration)
+        candidate.update(changes)
+        measurement = self.system.measure(candidate, n_repeats=self.n_repeats,
+                                          rng=self._rng)
+        self._probes += 1
+        gains = [gain_metric(faulty_measurement[o],
+                             measurement.objectives[o], d)
+                 for o, d in directions.items()]
+        return all(g >= self.fix_gain_threshold for g in gains)
+
+    def _diagnose(self, campaign: Sequence[Measurement],
+                  faulty_configuration: Mapping[str, float],
+                  faulty_measurement: Mapping[str, float],
+                  directions: Mapping[str, str]
+                  ) -> tuple[list[str], dict[str, float]]:
+        self._probes = 0
+        passing = self.best_passing_configuration(campaign, directions)
+        differences = {
+            name: passing.configuration[name] for name in self.option_names
+            if passing.configuration[name] != faulty_configuration.get(name)
+        }
+        if not differences:
+            return [], {}
+
+        # ddmin over the keys of the difference set.
+        delta = sorted(differences)
+        granularity = 2
+        while len(delta) > 1 and granularity <= len(delta):
+            if self._probes >= self.max_probe_measurements:
+                break
+            chunk_size = max(len(delta) // granularity, 1)
+            chunks = [delta[i:i + chunk_size]
+                      for i in range(0, len(delta), chunk_size)]
+            reduced = False
+            for chunk in chunks:
+                if self._probes >= self.max_probe_measurements:
+                    break
+                complement = [name for name in delta if name not in chunk]
+                if not complement:
+                    continue
+                changes = {name: differences[name] for name in complement}
+                if self._is_fixed(changes, faulty_configuration,
+                                  faulty_measurement, directions):
+                    delta = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+            if not reduced:
+                if granularity >= len(delta):
+                    break
+                granularity = min(granularity * 2, len(delta))
+
+        fix = {name: differences[name] for name in delta}
+        # ddmin can over-minimise when measurement noise fakes a "fix"; verify
+        # the minimal set once and fall back to the full difference set if it
+        # no longer reproduces the improvement (the passing configuration is
+        # known to be good, so the full set always does).
+        if (len(delta) < len(differences)
+                and self._probes < self.max_probe_measurements
+                and not self._is_fixed(fix, faulty_configuration,
+                                       faulty_measurement, directions)):
+            delta = sorted(differences)
+            fix = dict(differences)
+        return list(delta), fix

@@ -1,0 +1,101 @@
+"""EnCore: correlational rule learning over misconfiguration data.
+
+EnCore (Zhang et al.) detects misconfigurations by learning, from a corpus of
+known-good configurations, rules about what values and value-combinations
+options usually take, and flagging the entries of a suspect configuration
+that violate those rules.  Our adaptation to performance faults:
+
+* the "good corpus" is the passing half of the measured campaign,
+* single-option rules record the empirical value distribution of each option
+  among passing runs,
+* pairwise rules record, for correlated option pairs, which value
+  combinations co-occur in passing runs,
+* the options of the faulty configuration are ranked by how strongly their
+  values deviate from the learned rules; the top deviants are the root
+  causes, and the fix replaces each with the most common passing value.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines.common import BaselineDebugger
+from repro.systems.base import Measurement
+
+
+class EnCoreDebugger(BaselineDebugger):
+    """Rule-based misconfiguration detector in the spirit of EnCore."""
+
+    name = "encore"
+
+    def __init__(self, *args, top_n_options: int = 5,
+                 rare_value_threshold: float = 0.2, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.top_n_options = top_n_options
+        self.rare_value_threshold = rare_value_threshold
+
+    def _diagnose(self, campaign: Sequence[Measurement],
+                  faulty_configuration: Mapping[str, float],
+                  faulty_measurement: Mapping[str, float],
+                  directions: Mapping[str, str]
+                  ) -> tuple[list[str], dict[str, float]]:
+        labels = self.label_campaign(campaign, directions)
+        passing = [m for m, label in zip(campaign, labels) if label == 0]
+        if not passing:
+            passing = list(campaign)
+
+        # Single-option value distributions among passing runs.
+        value_counts: dict[str, Counter] = {}
+        for name in self.option_names:
+            value_counts[name] = Counter(
+                float(m.configuration[name]) for m in passing)
+
+        deviation: dict[str, float] = {}
+        common_value: dict[str, float] = {}
+        n_passing = len(passing)
+        for name in self.option_names:
+            counts = value_counts[name]
+            most_common_value, most_common_count = counts.most_common(1)[0]
+            common_value[name] = float(most_common_value)
+            faulty_value = float(faulty_configuration.get(name,
+                                                          most_common_value))
+            frequency = counts.get(faulty_value, 0) / n_passing
+            # Deviation is high when the faulty value is rare among passing
+            # runs and an alternative value dominates.
+            dominance = most_common_count / n_passing
+            deviation[name] = max(dominance - frequency, 0.0)
+
+        # Pairwise co-occurrence rules between strongly correlated options.
+        matrix = self.campaign_matrix(passing)
+        if matrix.shape[0] >= 5 and matrix.shape[1] >= 2:
+            with np.errstate(invalid="ignore"):
+                corr = np.corrcoef(matrix, rowvar=False)
+            corr = np.nan_to_num(corr)
+            for i, a in enumerate(self.option_names):
+                for j in range(i + 1, len(self.option_names)):
+                    if abs(corr[i, j]) < 0.4:
+                        continue
+                    b = self.option_names[j]
+                    pairs = Counter(
+                        (float(m.configuration[a]), float(m.configuration[b]))
+                        for m in passing)
+                    faulty_pair = (float(faulty_configuration.get(a, 0.0)),
+                                   float(faulty_configuration.get(b, 0.0)))
+                    frequency = pairs.get(faulty_pair, 0) / n_passing
+                    if frequency < self.rare_value_threshold:
+                        bump = self.rare_value_threshold - frequency
+                        deviation[a] = deviation.get(a, 0.0) + 0.5 * bump
+                        deviation[b] = deviation.get(b, 0.0) + 0.5 * bump
+
+        ranked = sorted(deviation, key=deviation.get, reverse=True)
+        root_causes = [o for o in ranked
+                       if deviation[o] > 0][:self.top_n_options]
+        if not root_causes:
+            root_causes = ranked[:self.top_n_options]
+        fix = {name: common_value[name] for name in root_causes
+               if common_value[name] != float(faulty_configuration.get(name,
+                                                                       np.nan))}
+        return root_causes, fix

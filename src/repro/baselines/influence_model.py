@@ -1,0 +1,173 @@
+"""Performance-influence models (stepwise polynomial regression).
+
+The standard performance-modeling approach of the literature (Siegmund et
+al.) and the foil of the paper's motivating analysis: a linear model over
+option terms and pairwise interaction terms, selected with forward selection
+and pruned with backward elimination ("non-linear regression models with
+forward and backward elimination using a stepwise training method").
+
+The Fig. 4 / Fig. 5 / Fig. 21 analyses compare the *terms* (predictors) and
+coefficients of influence models learned in different environments, and their
+prediction error (MAPE) within and across environments; this class exposes
+``terms()`` and ``predict()`` for exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.metrics.regression import mean_absolute_percentage_error
+from repro.stats.dataset import Dataset
+
+
+class PerformanceInfluenceModel:
+    """Stepwise linear + interaction regression of one objective on options.
+
+    Parameters
+    ----------
+    max_terms:
+        Upper bound on the number of selected terms.
+    improvement_threshold:
+        Minimum relative reduction of residual error required to accept a new
+        term during forward selection (also used, symmetrically, by backward
+        elimination).
+    include_interactions:
+        Whether pairwise interaction terms are candidates.
+    """
+
+    def __init__(self, max_terms: int = 20,
+                 improvement_threshold: float = 0.01,
+                 include_interactions: bool = True) -> None:
+        self.max_terms = max_terms
+        self.improvement_threshold = improvement_threshold
+        self.include_interactions = include_interactions
+        self._selected: list[tuple[str, ...]] = []
+        self._coefficients: dict[tuple[str, ...], float] = {}
+        self._intercept = 0.0
+        self._options: list[str] = []
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, data: Dataset, objective: str,
+            options: Sequence[str]) -> "PerformanceInfluenceModel":
+        self._options = [o for o in options if o in data.columns]
+        y = data.column(objective)
+        candidates = self._candidate_terms(self._options)
+        term_columns = {term: self._term_column(data, term)
+                        for term in candidates}
+
+        selected: list[tuple[str, ...]] = []
+        best_error = float(np.var(y)) if np.var(y) > 0 else 1.0
+
+        # Forward selection.
+        improved = True
+        while improved and len(selected) < self.max_terms:
+            improved = False
+            best_term = None
+            best_candidate_error = best_error
+            for term in candidates:
+                if term in selected:
+                    continue
+                error = self._fit_error(term_columns, selected + [term], y)
+                if error < best_candidate_error * (1 - self.improvement_threshold):
+                    best_candidate_error = error
+                    best_term = term
+            if best_term is not None:
+                selected.append(best_term)
+                best_error = best_candidate_error
+                improved = True
+
+        # Backward elimination.
+        pruned = True
+        while pruned and len(selected) > 1:
+            pruned = False
+            for term in list(selected):
+                remaining = [t for t in selected if t != term]
+                error = self._fit_error(term_columns, remaining, y)
+                if error <= best_error * (1 + self.improvement_threshold):
+                    selected = remaining
+                    best_error = error
+                    pruned = True
+                    break
+
+        self._selected = selected
+        self._solve(term_columns, selected, y)
+        return self
+
+    def _candidate_terms(self, options: Sequence[str]) -> list[tuple[str, ...]]:
+        terms: list[tuple[str, ...]] = [(o,) for o in options]
+        if self.include_interactions:
+            for i, a in enumerate(options):
+                for b in options[i + 1:]:
+                    terms.append((a, b))
+        return terms
+
+    @staticmethod
+    def _term_column(data: Dataset, term: tuple[str, ...]) -> np.ndarray:
+        column = np.ones(data.n_rows)
+        for name in term:
+            column = column * data.column(name)
+        return column
+
+    @staticmethod
+    def _design(term_columns: Mapping[tuple[str, ...], np.ndarray],
+                terms: Sequence[tuple[str, ...]]) -> np.ndarray:
+        n_rows = len(next(iter(term_columns.values())))
+        if not terms:
+            return np.ones((n_rows, 1))
+        columns = [term_columns[t] for t in terms]
+        return np.column_stack(columns + [np.ones(n_rows)])
+
+    def _fit_error(self, term_columns, terms, y: np.ndarray) -> float:
+        design = self._design(term_columns, terms)
+        beta, *_ = np.linalg.lstsq(design, y, rcond=None)
+        residual = y - design @ beta
+        return float(np.mean(residual ** 2))
+
+    def _solve(self, term_columns, terms, y: np.ndarray) -> None:
+        design = self._design(term_columns, terms)
+        beta, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self._coefficients = {term: float(b) for term, b in zip(terms, beta)}
+        self._intercept = float(beta[-1])
+
+    # -------------------------------------------------------------- predict
+    def predict_row(self, configuration: Mapping[str, float]) -> float:
+        total = self._intercept
+        for term, coefficient in self._coefficients.items():
+            product = coefficient
+            for name in term:
+                product *= float(configuration.get(name, 0.0))
+            total += product
+        return total
+
+    def predict(self, data: Dataset) -> np.ndarray:
+        return np.array([self.predict_row(row) for row in data.rows()])
+
+    def mape(self, data: Dataset, objective: str) -> float:
+        """Prediction error (MAPE, %) of the model on a dataset."""
+        return mean_absolute_percentage_error(data.column(objective),
+                                              self.predict(data))
+
+    # ------------------------------------------------------------ inspection
+    def terms(self) -> dict[str, float]:
+        """Selected terms and their coefficients, keyed by a readable name."""
+        return {" * ".join(term): coefficient
+                for term, coefficient in self._coefficients.items()}
+
+    @property
+    def n_terms(self) -> int:
+        return len(self._coefficients)
+
+    def important_options(self, top_n: int = 5) -> list[str]:
+        """Options appearing in the largest-magnitude terms."""
+        ranked = sorted(self._coefficients.items(),
+                        key=lambda kv: abs(kv[1]), reverse=True)
+        out: list[str] = []
+        for term, _ in ranked:
+            for name in term:
+                if name not in out:
+                    out.append(name)
+            if len(out) >= top_n:
+                break
+        return out[:top_n]

@@ -1,0 +1,171 @@
+"""PESMO-style multi-objective Bayesian optimization.
+
+PESMO (Hernández-Lobato et al.) selects evaluations that maximise the
+expected reduction in entropy of the Pareto set.  Reproducing the exact
+entropy-search acquisition requires Gaussian-process machinery that is out of
+scope offline; as documented in DESIGN.md we substitute a surrogate-based
+multi-objective optimizer with the same interface and evaluation profile:
+per-objective random-forest surrogates and an expected-hypervolume-improvement
+acquisition evaluated over a random + local candidate pool.  What matters for
+the comparison in Fig. 15c/d is that the baseline spends its budget searching
+the Pareto front with a model-based acquisition, which this does.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.trees import RandomForestRegressor
+from repro.core.optimizer import OptimizationResult
+from repro.metrics.optimization import hypervolume, pareto_front
+from repro.systems.base import ConfigurableSystem, Measurement
+
+
+class PESMOOptimizer:
+    """Multi-objective surrogate optimization with hypervolume acquisition."""
+
+    name = "pesmo"
+
+    def __init__(self, system: ConfigurableSystem, budget: int = 100,
+                 initial_samples: int = 25, n_repeats: int = 3,
+                 n_candidates: int = 150, n_trees: int = 15,
+                 seed: int = 0,
+                 relevant_options: Sequence[str] | None = None) -> None:
+        self.system = system
+        self.budget = budget
+        self.initial_samples = initial_samples
+        self.n_repeats = n_repeats
+        self.n_candidates = n_candidates
+        self.n_trees = n_trees
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        names = system.space.option_names
+        if relevant_options is not None:
+            wanted = [o for o in relevant_options if o in names]
+            self.option_names = wanted or names
+        else:
+            self.option_names = names
+
+    def optimize(self, objectives: Sequence[str],
+                 initial_measurements: Sequence[Measurement] = ()
+                 ) -> OptimizationResult:
+        started = time.perf_counter()
+        objective_names = list(objectives)
+        directions = {o: self.system.objectives[o] for o in objective_names}
+        signs = {o: 1.0 if d == "minimize" else -1.0
+                 for o, d in directions.items()}
+
+        measurements: list[Measurement] = list(initial_measurements)
+        needed = self.initial_samples - len(measurements)
+        if needed > 0:
+            configs = self.system.space.sample_configurations(needed, self._rng)
+            measurements.extend(self.system.measure_many(
+                configs, n_repeats=self.n_repeats, rng=self._rng))
+
+        evaluated = [dict(m.objectives) for m in measurements]
+
+        def minimised_point(values: dict[str, float]) -> tuple[float, ...]:
+            return tuple(signs[o] * values[o] for o in objective_names)
+
+        def reference_point() -> tuple[float, ...]:
+            points = [minimised_point(e) for e in evaluated]
+            return tuple(max(p[i] for p in points) * 1.1 + 1e-6
+                         for i in range(len(objective_names)))
+
+        trace = [self._best_scalarised(evaluated, directions)]
+
+        while len(measurements) < self.budget:
+            x = np.array([[m.configuration[name] for name in self.option_names]
+                          for m in measurements])
+            forests = {}
+            for objective in objective_names:
+                y = np.array([signs[objective] * m.objectives[objective]
+                              for m in measurements])
+                forest = RandomForestRegressor(n_trees=self.n_trees,
+                                               random_state=self.seed)
+                forest.fit(x, y)
+                forests[objective] = forest
+
+            candidates = self._candidates(measurements)
+            candidate_matrix = np.array(
+                [[c[name] for name in self.option_names] for c in candidates])
+            predictions = {o: forests[o].predict(candidate_matrix)
+                           for o in objective_names}
+
+            current_front = pareto_front([minimised_point(e)
+                                          for e in evaluated])
+            reference = reference_point()
+            current_volume = hypervolume(current_front, reference)
+            improvements = []
+            for i in range(len(candidates)):
+                point = tuple(float(predictions[o][i])
+                              for o in objective_names)
+                volume = hypervolume(list(current_front) + [point], reference)
+                improvements.append(volume - current_volume)
+            chosen = candidates[int(np.argmax(improvements))]
+
+            measurement = self.system.measure(chosen, n_repeats=self.n_repeats,
+                                              rng=self._rng)
+            measurements.append(measurement)
+            evaluated.append(dict(measurement.objectives))
+            trace.append(self._best_scalarised(evaluated, directions))
+
+        front_points = pareto_front([minimised_point(e) for e in evaluated])
+        best_entry = self._best_scalarised(evaluated, directions)
+        best_measurement = min(
+            measurements,
+            key=lambda m: sum(signs[o] * m.objectives[o]
+                              for o in objective_names))
+        elapsed = time.perf_counter() - started
+        result = OptimizationResult(
+            system=self.system.name,
+            environment=self.system.environment.name,
+            objectives=directions,
+            best_configuration=dict(best_measurement.configuration),
+            best_objectives={o: best_measurement.objectives[o]
+                             for o in objective_names},
+            iterations=len(measurements) - len(initial_measurements),
+            samples_used=len(measurements),
+            wall_clock_seconds=elapsed,
+            simulated_hours=(len(measurements)
+                             * self.system.measurement_cost_seconds / 3600.0),
+            trace=[best_entry] if not trace else trace,
+            evaluated=evaluated)
+        # Attach the minimised-front for callers that want it directly.
+        result.front = front_points  # type: ignore[attr-defined]
+        return result
+
+    # ------------------------------------------------------------------ impl
+    def _candidates(self, measurements: Sequence[Measurement]
+                    ) -> list[dict[str, float]]:
+        candidates = self.system.space.sample_configurations(
+            self.n_candidates // 2, self._rng)
+        anchors = list(measurements[-10:])
+        while len(candidates) < self.n_candidates and anchors:
+            base = anchors[int(self._rng.integers(0, len(anchors)))]
+            candidate = dict(base.configuration)
+            names = self._rng.choice(self.option_names,
+                                     size=min(2, len(self.option_names)),
+                                     replace=False)
+            for name in names:
+                candidate[name] = float(self._rng.choice(
+                    self.system.space.option(name).values))
+            candidates.append(self.system.space.clamp(candidate))
+        return candidates
+
+    @staticmethod
+    def _best_scalarised(evaluated: Sequence[dict[str, float]],
+                         directions: dict[str, str]) -> dict[str, float]:
+        """Best equal-weight scalarisation seen so far (for the trace)."""
+        def score(entry: dict[str, float]) -> float:
+            total = 0.0
+            for objective, direction in directions.items():
+                value = entry[objective]
+                total += -value if direction == "minimize" else value
+            return total
+
+        best = max(evaluated, key=score)
+        return {o: best[o] for o in directions}

@@ -1,0 +1,81 @@
+"""Random search: the sanity-check optimization baseline.
+
+Not part of the paper's headline comparison but used by the ablation benches
+(ACE-guided sampling vs. uninformed sampling) and by tests as a floor that
+any model-based method should beat on the simulated systems.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.optimizer import OptimizationResult
+from repro.systems.base import ConfigurableSystem, Measurement
+
+
+class RandomSearchOptimizer:
+    """Uniform random sampling of the configuration space."""
+
+    name = "random"
+
+    def __init__(self, system: ConfigurableSystem, budget: int = 100,
+                 n_repeats: int = 3, seed: int = 0) -> None:
+        self.system = system
+        self.budget = budget
+        self.n_repeats = n_repeats
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def optimize(self, objectives: Sequence[str] | str,
+                 initial_measurements: Sequence[Measurement] = ()
+                 ) -> OptimizationResult:
+        started = time.perf_counter()
+        if isinstance(objectives, str):
+            objective_names = [objectives]
+        else:
+            objective_names = list(objectives)
+        directions = {o: self.system.objectives[o] for o in objective_names}
+        signs = {o: 1.0 if d == "minimize" else -1.0
+                 for o, d in directions.items()}
+
+        measurements: list[Measurement] = list(initial_measurements)
+        evaluated = [dict(m.objectives) for m in measurements]
+        trace: list[dict[str, float]] = []
+        best: Measurement | None = min(
+            measurements,
+            key=lambda m: sum(signs[o] * m.objectives[o]
+                              for o in objective_names),
+            default=None)
+
+        while len(measurements) < self.budget:
+            config = self.system.space.sample_configuration(self._rng)
+            measurement = self.system.measure(config, n_repeats=self.n_repeats,
+                                              rng=self._rng)
+            measurements.append(measurement)
+            evaluated.append(dict(measurement.objectives))
+            if best is None or (
+                    sum(signs[o] * measurement.objectives[o]
+                        for o in objective_names)
+                    < sum(signs[o] * best.objectives[o]
+                          for o in objective_names)):
+                best = measurement
+            trace.append({o: best.objectives[o] for o in objective_names})
+
+        elapsed = time.perf_counter() - started
+        return OptimizationResult(
+            system=self.system.name,
+            environment=self.system.environment.name,
+            objectives=directions,
+            best_configuration=dict(best.configuration) if best else {},
+            best_objectives={o: best.objectives[o]
+                             for o in objective_names} if best else {},
+            iterations=len(measurements) - len(initial_measurements),
+            samples_used=len(measurements),
+            wall_clock_seconds=elapsed,
+            simulated_hours=(len(measurements)
+                             * self.system.measurement_cost_seconds / 3600.0),
+            trace=trace,
+            evaluated=evaluated)

@@ -1,0 +1,257 @@
+"""Decision trees and random forests.
+
+The debugging baseline BugDoc infers root causes with decision trees, and the
+optimization baselines SMAC/PESMO use random-forest surrogates; the offline
+environment has no scikit-learn, so this module provides compact CART
+implementations: a classification tree (Gini impurity), a regression tree
+(variance reduction) and a bootstrap-aggregated regression forest with
+per-tree predictions (the spread across trees serves as the surrogate's
+uncertainty estimate for expected-improvement acquisition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One node of a CART tree."""
+
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: float = 0.0          # mean target (regression) or majority class
+    probability: float = 0.0    # class-1 probability (classification)
+    n_samples: int = 0
+    impurity: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    p = np.mean(labels)
+    return float(2.0 * p * (1.0 - p))
+
+
+def _variance(values: np.ndarray) -> float:
+    if values.size == 0:
+        return 0.0
+    return float(np.var(values))
+
+
+class _BaseTree:
+    """Shared recursive CART construction."""
+
+    def __init__(self, max_depth: int = 6, min_samples_split: int = 4,
+                 min_samples_leaf: int = 2,
+                 max_features: int | None = None,
+                 random_state: int | None = None) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(random_state)
+        self._root: _Node | None = None
+        self.feature_importances_: np.ndarray | None = None
+
+    # Subclasses define the impurity function and the leaf summary.
+    def _impurity(self, y: np.ndarray) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    def _leaf(self, y: np.ndarray) -> _Node:  # pragma: no cover
+        raise NotImplementedError
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "_BaseTree":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        self._n_features = x.shape[1]
+        self._importance = np.zeros(self._n_features)
+        self._root = self._build(x, y, depth=0)
+        total = self._importance.sum()
+        self.feature_importances_ = (self._importance / total
+                                     if total > 0 else self._importance)
+        return self
+
+    def _candidate_features(self) -> np.ndarray:
+        if self.max_features is None or self.max_features >= self._n_features:
+            return np.arange(self._n_features)
+        return self._rng.choice(self._n_features, size=self.max_features,
+                                replace=False)
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node_impurity = self._impurity(y)
+        if (depth >= self.max_depth or len(y) < self.min_samples_split
+                or node_impurity <= 1e-12):
+            return self._leaf(y)
+
+        best_gain = 0.0
+        best: tuple[int, float, np.ndarray] | None = None
+        for feature in self._candidate_features():
+            column = x[:, feature]
+            values = np.unique(column)
+            if values.size < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            if thresholds.size > 16:
+                idx = np.linspace(0, thresholds.size - 1, 16).astype(int)
+                thresholds = thresholds[idx]
+            for threshold in thresholds:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                n_right = len(y) - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                gain = node_impurity - (
+                    n_left / len(y) * self._impurity(y[mask])
+                    + n_right / len(y) * self._impurity(y[~mask]))
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best = (int(feature), float(threshold), mask)
+        if best is None:
+            return self._leaf(y)
+
+        feature, threshold, mask = best
+        self._importance[feature] += best_gain * len(y)
+        node = self._leaf(y)
+        node.feature = feature
+        node.threshold = threshold
+        node.impurity = node_impurity
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _locate(self, row: np.ndarray) -> _Node:
+        node = self._root
+        if node is None:
+            raise RuntimeError("tree is not fitted")
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node
+
+    def decision_path(self, row: Sequence[float]) -> list[tuple[int, float, bool]]:
+        """Sequence of (feature, threshold, went_left) splits for one sample."""
+        node = self._root
+        if node is None:
+            raise RuntimeError("tree is not fitted")
+        path: list[tuple[int, float, bool]] = []
+        row = np.asarray(row, dtype=float)
+        while not node.is_leaf:
+            went_left = bool(row[node.feature] <= node.threshold)
+            path.append((node.feature, node.threshold, went_left))
+            node = node.left if went_left else node.right
+        return path
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """Binary CART classifier (labels in {0, 1}) with Gini impurity."""
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return _gini(y)
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        probability = float(np.mean(y)) if y.size else 0.0
+        return _Node(value=float(probability >= 0.5), probability=probability,
+                     n_samples=len(y), impurity=_gini(y))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        return np.array([self._locate(row).probability for row in x])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(float)
+
+    def leaves(self) -> list[_Node]:
+        """All leaf nodes (used by BugDoc to find passing/failing regions)."""
+        out: list[_Node] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if node.is_leaf:
+                out.append(node)
+            else:
+                stack.extend([node.left, node.right])
+        return out
+
+
+class RegressionTree(_BaseTree):
+    """CART regression tree with variance-reduction splits."""
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return _variance(y)
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        return _Node(value=float(np.mean(y)) if y.size else 0.0,
+                     n_samples=len(y), impurity=_variance(y))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        return np.array([self._locate(row).value for row in x])
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression trees.
+
+    ``predict`` returns the mean across trees; ``predict_with_std`` also
+    returns the across-tree standard deviation, which SMAC uses as the
+    surrogate uncertainty in its expected-improvement acquisition.
+    """
+
+    def __init__(self, n_trees: int = 20, max_depth: int = 6,
+                 min_samples_leaf: int = 2,
+                 max_features: int | None = None,
+                 random_state: int = 0) -> None:
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._trees: list[RegressionTree] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        rng = np.random.default_rng(self.random_state)
+        n = len(y)
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.sqrt(x.shape[1])))
+        self._trees = []
+        for i in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            tree = RegressionTree(max_depth=self.max_depth,
+                                  min_samples_leaf=self.min_samples_leaf,
+                                  max_features=max_features,
+                                  random_state=self.random_state + i)
+            tree.fit(x[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def _per_tree(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        return np.stack([tree.predict(x) for tree in self._trees], axis=0)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self._per_tree(x).mean(axis=0)
+
+    def predict_with_std(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        per_tree = self._per_tree(x)
+        return per_tree.mean(axis=0), per_tree.std(axis=0)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        return np.mean([t.feature_importances_ for t in self._trees], axis=0)

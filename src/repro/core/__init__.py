@@ -1,0 +1,28 @@
+"""Unicorn core: the five-stage active-learning loop and its entry points.
+
+* :class:`~repro.core.unicorn.Unicorn` — shared machinery: initial sampling,
+  model learning, incremental update, inference-engine construction.
+* :class:`~repro.core.debugger.UnicornDebugger` — performance debugging and
+  repair of non-functional faults (Stage I-V for a repair query).
+* :class:`~repro.core.optimizer.UnicornOptimizer` — single- and
+  multi-objective performance optimization.
+* :mod:`~repro.core.transfer` — reuse / fine-tune / rerun of learned causal
+  performance models across environments.
+"""
+
+from repro.core.unicorn import Unicorn, UnicornConfig
+from repro.core.debugger import DebugResult, UnicornDebugger
+from repro.core.optimizer import OptimizationResult, UnicornOptimizer
+from repro.core.transfer import TransferMode, TransferResult, transfer_debug
+
+__all__ = [
+    "Unicorn",
+    "UnicornConfig",
+    "UnicornDebugger",
+    "DebugResult",
+    "UnicornOptimizer",
+    "OptimizationResult",
+    "TransferMode",
+    "TransferResult",
+    "transfer_debug",
+]

@@ -1,0 +1,168 @@
+"""Transferring causal performance models across environments (Section 8).
+
+The paper evaluates three reuse strategies when the deployment environment
+changes (different hardware or a larger workload):
+
+* **Reuse** — apply the recommendation derived from the *source* environment
+  directly in the target environment, without any new measurements.
+* **+N (fine-tune)** — carry the source observational data over, measure a
+  small number (25 in the paper) of fresh configurations in the target, and
+  incrementally update the causal model before debugging.
+* **Rerun** — learn everything from scratch in the target environment.
+
+``transfer_debug`` implements all three for the debugging task; the
+optimization analogue (``transfer_optimize``) mirrors the Fig. 17 workload
+experiment by reusing/fine-tuning with a fraction of the original budget.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.debugger import DebugResult, UnicornDebugger
+from repro.core.optimizer import OptimizationResult, UnicornOptimizer
+from repro.core.unicorn import UnicornConfig
+from repro.systems.base import ConfigurableSystem, Measurement
+from repro.systems.faults import Fault
+
+
+class TransferMode(enum.Enum):
+    """How much of the source environment's knowledge is reused."""
+
+    REUSE = "reuse"
+    FINE_TUNE = "fine_tune"
+    RERUN = "rerun"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TransferMode.{self.name}"
+
+
+@dataclass
+class TransferResult:
+    """Outcome of one transfer scenario."""
+
+    mode: TransferMode
+    source_environment: str
+    target_environment: str
+    debug_result: DebugResult | None = None
+    optimization_result: OptimizationResult | None = None
+    extra_target_samples: int = 0
+    wall_clock_seconds: float = 0.0
+
+
+def _source_measurements(source_system: ConfigurableSystem, n: int,
+                         seed: int) -> list[Measurement]:
+    rng = np.random.default_rng(seed)
+    configs = source_system.space.sample_configurations(n, rng)
+    return source_system.measure_many(configs, n_repeats=3, rng=rng)
+
+
+def transfer_debug(source_system: ConfigurableSystem,
+                   target_system: ConfigurableSystem,
+                   fault: Fault,
+                   mode: TransferMode,
+                   config: UnicornConfig | None = None,
+                   source_samples: int = 50,
+                   fine_tune_samples: int = 25,
+                   objectives: Sequence[str] | None = None) -> TransferResult:
+    """Debug a fault in the target environment under a transfer strategy.
+
+    The fault's configuration is re-measured in the *target* environment (its
+    catalogued measurement came from wherever it was discovered), and the
+    debugging loop is run with source knowledge injected according to
+    ``mode``.
+    """
+    started = time.perf_counter()
+    config = config or UnicornConfig()
+    objective_names = list(objectives or fault.objectives)
+
+    source_measurements = _source_measurements(source_system, source_samples,
+                                               seed=config.seed + 17)
+    faulty_config = fault.configuration_dict()
+    faulty_in_target = target_system.measure(faulty_config,
+                                             n_repeats=config.n_repeats)
+
+    if mode is TransferMode.REUSE:
+        # Recommend from the source model only: no target measurements beyond
+        # validating the recommendation.
+        reuse_config = UnicornConfig(**{
+            **config.__dict__,
+            "budget": len(source_measurements) + 3})
+        debugger = UnicornDebugger(target_system, reuse_config)
+        result = debugger.debug(faulty_config,
+                                faulty_measurement=dict(
+                                    faulty_in_target.objectives),
+                                objectives=objective_names,
+                                initial_measurements=source_measurements)
+        extra_samples = result.samples_used - len(source_measurements)
+    elif mode is TransferMode.FINE_TUNE:
+        tune_config = UnicornConfig(**{
+            **config.__dict__,
+            "initial_samples": len(source_measurements) + fine_tune_samples,
+            "budget": len(source_measurements) + fine_tune_samples
+            + config.budget // 4,
+        })
+        debugger = UnicornDebugger(target_system, tune_config)
+        result = debugger.debug(faulty_config,
+                                faulty_measurement=dict(
+                                    faulty_in_target.objectives),
+                                objectives=objective_names,
+                                initial_measurements=source_measurements)
+        extra_samples = result.samples_used - len(source_measurements)
+    else:  # RERUN
+        debugger = UnicornDebugger(target_system, config)
+        result = debugger.debug(faulty_config,
+                                faulty_measurement=dict(
+                                    faulty_in_target.objectives),
+                                objectives=objective_names)
+        extra_samples = result.samples_used
+
+    return TransferResult(
+        mode=mode,
+        source_environment=source_system.environment.name,
+        target_environment=target_system.environment.name,
+        debug_result=result,
+        extra_target_samples=max(extra_samples, 0),
+        wall_clock_seconds=time.perf_counter() - started)
+
+
+def transfer_optimize(source_system: ConfigurableSystem,
+                      target_system: ConfigurableSystem,
+                      mode: TransferMode,
+                      config: UnicornConfig | None = None,
+                      source_samples: int = 50,
+                      budget_fraction: float = 0.2,
+                      objectives: Sequence[str] | None = None) -> TransferResult:
+    """Optimize in the target environment under a transfer strategy (Fig. 17)."""
+    started = time.perf_counter()
+    config = config or UnicornConfig()
+    source_measurements = _source_measurements(source_system, source_samples,
+                                               seed=config.seed + 29)
+
+    if mode is TransferMode.REUSE:
+        budget = len(source_measurements) + 2
+        initial = source_measurements
+    elif mode is TransferMode.FINE_TUNE:
+        budget = len(source_measurements) + max(
+            int(config.budget * budget_fraction), 5)
+        initial = source_measurements
+    else:
+        budget = config.budget
+        initial = ()
+
+    run_config = UnicornConfig(**{**config.__dict__, "budget": budget})
+    optimizer = UnicornOptimizer(target_system, run_config)
+    result = optimizer.optimize(objectives=objectives,
+                                initial_measurements=initial)
+    return TransferResult(
+        mode=mode,
+        source_environment=source_system.environment.name,
+        target_environment=target_system.environment.name,
+        optimization_result=result,
+        extra_target_samples=result.samples_used - len(initial),
+        wall_clock_seconds=time.perf_counter() - started)

@@ -1,0 +1,48 @@
+"""Experiment runners shared by the benchmark harness and the examples.
+
+Each module corresponds to one family of experiments in the paper:
+
+* :mod:`repro.evaluation.debugging` — Table 2a/2b, Table 14, Fig. 14
+  (debugging effectiveness and sample efficiency against CBI/DD/EnCore/BugDoc).
+* :mod:`repro.evaluation.optimization` — Fig. 15 (single-objective vs SMAC,
+  multi-objective vs PESMO, Pareto fronts).
+* :mod:`repro.evaluation.transferability` — Fig. 16/17, Table 15 and the
+  Fig. 4/5/21/22 stability analyses of influence vs causal models.
+* :mod:`repro.evaluation.scalability` — Table 3.
+* :mod:`repro.evaluation.case_study` — Section 5 / Fig. 12.
+* :mod:`repro.evaluation.fault_campaign` — Fig. 13 fault catalogue.
+
+Runners return plain dictionaries / dataclasses so benchmarks can both assert
+on them and print paper-style rows.
+"""
+
+from repro.evaluation.relevant import relevant_options_for
+from repro.evaluation.debugging import DebuggingComparison, run_debugging_comparison
+from repro.evaluation.optimization import (
+    run_multi_objective_comparison,
+    run_single_objective_comparison,
+)
+from repro.evaluation.transferability import (
+    run_hardware_transfer,
+    run_stability_analysis,
+    run_workload_transfer,
+)
+from repro.evaluation.scalability import run_scalability_scenario
+from repro.evaluation.case_study import run_case_study
+from repro.evaluation.fault_campaign import run_fault_campaign
+from repro.evaluation.tables import format_table
+
+__all__ = [
+    "relevant_options_for",
+    "DebuggingComparison",
+    "run_debugging_comparison",
+    "run_single_objective_comparison",
+    "run_multi_objective_comparison",
+    "run_hardware_transfer",
+    "run_workload_transfer",
+    "run_stability_analysis",
+    "run_scalability_scenario",
+    "run_case_study",
+    "run_fault_campaign",
+    "format_table",
+]

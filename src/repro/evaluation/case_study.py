@@ -1,0 +1,117 @@
+"""The Section 5 / Fig. 12 case study runner.
+
+Reproduces the real-world TX1 → TX2 migration scenario: a misconfiguration
+(CUDA_STATIC plus four hardware options) makes the scene-detection workload
+4x slower on the faster board.  The runner debugs the fault with Unicorn,
+SMAC (as an optimizer pressed into service), and BugDoc, and also scores the
+forum-recommended fix, reporting the latency (FPS), the gain over the fault
+and over TX1, the options each approach changed, and the time each took —
+the rows of Fig. 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.bugdoc import BugDocDebugger
+from repro.baselines.smac import SMACOptimizer
+from repro.core.debugger import UnicornDebugger
+from repro.core.unicorn import UnicornConfig
+from repro.systems.case_study import (
+    FAULTY_CONFIGURATION,
+    FORUM_FIX,
+    TRUE_ROOT_CAUSES,
+    make_case_study,
+)
+from repro.systems.hardware import JETSON_TX1, JETSON_TX2
+
+#: FPS the developer reported on the slower TX1 board.
+TX1_FPS = 17.0
+
+
+@dataclass
+class CaseStudyRow:
+    """One row of the Fig. 12 comparison."""
+
+    approach: str
+    fps: float
+    gain_over_fault: float
+    gain_over_tx1: float
+    changed_options: list[str] = field(default_factory=list)
+    root_causes: list[str] = field(default_factory=list)
+    hours: float = 0.0
+
+
+@dataclass
+class CaseStudyReport:
+    fault_fps: float
+    rows: dict[str, CaseStudyRow] = field(default_factory=dict)
+
+    def row(self, approach: str) -> CaseStudyRow:
+        return self.rows[approach]
+
+
+def _gain(old: float, new: float) -> float:
+    return (new - old) / max(abs(old), 1e-9) * 100.0
+
+
+def run_case_study(budget: int = 60, seed: int = 0) -> CaseStudyReport:
+    """Run Unicorn, SMAC, BugDoc and the forum fix on the TX2 fault."""
+    probe = make_case_study(hardware=JETSON_TX2)
+    fault_fps = probe.measure(FAULTY_CONFIGURATION).objectives["FPS"]
+    report = CaseStudyReport(fault_fps=fault_fps)
+
+    # Unicorn.
+    system = make_case_study(hardware=JETSON_TX2)
+    debugger = UnicornDebugger(system, UnicornConfig(
+        initial_samples=25, budget=budget, seed=seed))
+    unicorn_result = debugger.debug(FAULTY_CONFIGURATION, objectives=["FPS"])
+    unicorn_fps = unicorn_result.recommended_measurement["FPS"]
+    report.rows["unicorn"] = CaseStudyRow(
+        approach="unicorn", fps=unicorn_fps,
+        gain_over_fault=_gain(fault_fps, unicorn_fps),
+        gain_over_tx1=_gain(TX1_FPS, unicorn_fps),
+        changed_options=unicorn_result.changed_options,
+        root_causes=unicorn_result.root_causes,
+        hours=unicorn_result.simulated_hours)
+
+    # SMAC (optimizes FPS from scratch).
+    system = make_case_study(hardware=JETSON_TX2)
+    smac = SMACOptimizer(system, budget=budget, initial_samples=25, seed=seed)
+    smac_result = smac.optimize("FPS")
+    smac_fps = smac_result.best_objectives["FPS"]
+    report.rows["smac"] = CaseStudyRow(
+        approach="smac", fps=smac_fps,
+        gain_over_fault=_gain(fault_fps, smac_fps),
+        gain_over_tx1=_gain(TX1_FPS, smac_fps),
+        changed_options=[
+            name for name, value in smac_result.best_configuration.items()
+            if value != FAULTY_CONFIGURATION.get(name, value)],
+        hours=smac_result.simulated_hours)
+
+    # BugDoc.
+    system = make_case_study(hardware=JETSON_TX2)
+    bugdoc = BugDocDebugger(system, budget=budget, seed=seed)
+    bugdoc_result = bugdoc.debug(FAULTY_CONFIGURATION, objectives=["FPS"])
+    bugdoc_fps = bugdoc_result.recommended_measurement["FPS"]
+    report.rows["bugdoc"] = CaseStudyRow(
+        approach="bugdoc", fps=bugdoc_fps,
+        gain_over_fault=_gain(fault_fps, bugdoc_fps),
+        gain_over_tx1=_gain(TX1_FPS, bugdoc_fps),
+        changed_options=bugdoc_result.changed_options,
+        root_causes=bugdoc_result.root_causes,
+        hours=bugdoc_result.simulated_hours)
+
+    # The fix recommended on the NVIDIA forum.
+    system = make_case_study(hardware=JETSON_TX2)
+    forum_config = dict(FAULTY_CONFIGURATION)
+    forum_config.update(FORUM_FIX)
+    forum_fps = system.measure(forum_config).objectives["FPS"]
+    report.rows["forum"] = CaseStudyRow(
+        approach="forum", fps=forum_fps,
+        gain_over_fault=_gain(fault_fps, forum_fps),
+        gain_over_tx1=_gain(TX1_FPS, forum_fps),
+        changed_options=sorted(FORUM_FIX),
+        root_causes=list(TRUE_ROOT_CAUSES),
+        hours=48.0)  # the forum thread took two days of discussion
+    return report

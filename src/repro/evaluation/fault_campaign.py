@@ -1,0 +1,57 @@
+"""Fault-catalogue campaign (Fig. 13).
+
+Runs the 99th-percentile fault-labelling protocol over the requested systems
+and reports how many single- and multi-objective non-functional faults each
+system exhibits — the bar chart of Fig. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.systems.faults import FaultCatalogue, discover_faults
+from repro.systems.registry import get_system
+
+
+@dataclass
+class FaultCampaignReport:
+    """Fault counts per system."""
+
+    catalogues: dict[str, FaultCatalogue] = field(default_factory=dict)
+
+    def counts(self) -> dict[str, dict[str, int]]:
+        return {name: catalogue.counts()
+                for name, catalogue in self.catalogues.items()}
+
+    def totals(self) -> dict[str, int]:
+        return {name: len(catalogue)
+                for name, catalogue in self.catalogues.items()}
+
+    def total_single_objective(self) -> int:
+        return sum(len(c.single_objective()) for c in self.catalogues.values())
+
+    def total_multi_objective(self) -> int:
+        return sum(len(c.multi_objective()) for c in self.catalogues.values())
+
+
+def run_fault_campaign(systems: Sequence[str] = ("deepstream", "xception",
+                                                 "bert", "deepspeech", "x264",
+                                                 "sqlite"),
+                       hardware: str = "TX2", n_samples: int = 300,
+                       percentile: float = 98.0,
+                       objectives: Sequence[str] | None = None,
+                       seed: int = 0) -> FaultCampaignReport:
+    """Discover faults for every requested system on one platform."""
+    report = FaultCampaignReport()
+    for name in systems:
+        system = get_system(name, hardware=hardware)
+        wanted = objectives
+        if wanted is not None:
+            wanted = [o for o in wanted if o in system.objective_names]
+            if not wanted:
+                wanted = None
+        report.catalogues[name] = discover_faults(
+            system, n_samples=n_samples, percentile=percentile,
+            objectives=wanted, seed=seed)
+    return report

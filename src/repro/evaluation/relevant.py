@@ -1,0 +1,27 @@
+"""Per-system "most relevant options" selections.
+
+The paper's default experiments restrict attention to the options NVIDIA's
+configuration guides and prior work identify as relevant (e.g. the 34-option
+SQLite scenario of Table 3); the full option sets are exercised only in the
+scalability study.  These selections mirror that split.
+"""
+
+from __future__ import annotations
+
+from repro.systems import dnn, deepstream, sqlite, x264
+
+
+_RELEVANT: dict[str, tuple[str, ...]] = {
+    "deepstream": deepstream.RELEVANT_OPTIONS,
+    "xception": dnn.RELEVANT_OPTIONS,
+    "bert": dnn.RELEVANT_OPTIONS,
+    "deepspeech": dnn.RELEVANT_OPTIONS,
+    "x264": x264.RELEVANT_OPTIONS,
+    "sqlite": sqlite.RELEVANT_OPTIONS,
+}
+
+
+def relevant_options_for(system_name: str) -> list[str] | None:
+    """Relevant-option list for a subject system (None = use every option)."""
+    options = _RELEVANT.get(system_name.lower())
+    return list(options) if options is not None else None

@@ -1,0 +1,36 @@
+"""Small plain-text table formatter used by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return title or ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: list[list[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append([_format_cell(row.get(c, "")) for c in columns])
+    widths = [max(len(line[i]) for line in rendered)
+              for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = rendered
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(cell.ljust(w)
+                               for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

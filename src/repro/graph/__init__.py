@@ -1,0 +1,38 @@
+"""Causal graph data structures.
+
+The discovery pipeline in Unicorn produces graphs of increasing specificity:
+
+* a *skeleton* (undirected graph with circle marks on every endpoint),
+* a *PAG* (partial ancestral graph) after FCI orientation, whose endpoints
+  carry circle, arrow or tail marks,
+* an *ADMG* (acyclic directed mixed graph) once every circle mark has been
+  resolved by the entropic orientation step, containing directed and
+  bidirected edges only,
+* and, for ground-truth models, a plain *DAG*.
+
+All of these are represented by :class:`~repro.graph.mixed_graph.MixedGraph`,
+which tracks an endpoint mark for each side of each edge.  The module also
+provides separation criteria (d-separation on DAGs, used by the ground-truth
+models and by tests) and structural distances (structural Hamming distance,
+used in Fig. 11 to show convergence of the learned model to the ground truth).
+"""
+
+from repro.graph.edges import Edge, Mark
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.dag import CausalDAG
+from repro.graph.separation import d_separated, possible_d_sep
+from repro.graph.distances import structural_hamming_distance, skeleton_f1
+from repro.graph.paths import backtrack_causal_paths, directed_paths
+
+__all__ = [
+    "Edge",
+    "Mark",
+    "MixedGraph",
+    "CausalDAG",
+    "d_separated",
+    "possible_d_sep",
+    "structural_hamming_distance",
+    "skeleton_f1",
+    "backtrack_causal_paths",
+    "directed_paths",
+]

@@ -1,0 +1,64 @@
+"""Structural distances between causal graphs.
+
+The paper (Fig. 11a) tracks how the Hamming distance between the learned
+causal performance model and the (approximate) ground-truth model shrinks as
+more configurations are measured.  We provide the structural Hamming distance
+(SHD) over adjacency + orientation, plus skeleton precision/recall/F1, which
+the convergence benchmark and the discovery tests both use.
+"""
+
+from __future__ import annotations
+
+from repro.graph.mixed_graph import MixedGraph
+
+
+def _adjacency_set(graph: MixedGraph) -> set[frozenset[str]]:
+    return {frozenset((e.u, e.v)) for e in graph.edges()}
+
+
+def structural_hamming_distance(learned: MixedGraph,
+                                truth: MixedGraph) -> int:
+    """Structural Hamming distance between two mixed graphs.
+
+    Counts one unit for every adjacency present in exactly one of the graphs,
+    and one unit for every shared adjacency whose orientation (the pair of
+    endpoint marks) differs.
+    """
+    learned_adj = _adjacency_set(learned)
+    truth_adj = _adjacency_set(truth)
+    distance = len(learned_adj ^ truth_adj)
+    for pair in learned_adj & truth_adj:
+        u, v = sorted(pair)
+        same = (learned.mark(u, v) is truth.mark(u, v)
+                and learned.mark(v, u) is truth.mark(v, u))
+        if not same:
+            distance += 1
+    return distance
+
+
+def skeleton_f1(learned: MixedGraph, truth: MixedGraph) -> dict[str, float]:
+    """Precision, recall and F1 of the learned skeleton against the truth."""
+    learned_adj = _adjacency_set(learned)
+    truth_adj = _adjacency_set(truth)
+    true_positive = len(learned_adj & truth_adj)
+    precision = true_positive / len(learned_adj) if learned_adj else 1.0
+    recall = true_positive / len(truth_adj) if truth_adj else 1.0
+    if precision + recall == 0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def orientation_accuracy(learned: MixedGraph, truth: MixedGraph) -> float:
+    """Fraction of shared adjacencies whose orientation matches the truth."""
+    shared = _adjacency_set(learned) & _adjacency_set(truth)
+    if not shared:
+        return 0.0
+    correct = 0
+    for pair in shared:
+        u, v = sorted(pair)
+        if (learned.mark(u, v) is truth.mark(u, v)
+                and learned.mark(v, u) is truth.mark(v, u)):
+            correct += 1
+    return correct / len(shared)

@@ -1,0 +1,84 @@
+"""Edge endpoint marks for mixed causal graphs.
+
+FCI produces partial ancestral graphs whose edges carry one of three marks on
+each endpoint:
+
+* ``TAIL`` (``-``): the variable at this end is an ancestor of the other end.
+* ``ARROW`` (``>``): the variable at this end is *not* an ancestor of the
+  other end.
+* ``CIRCLE`` (``o``): undetermined; the data are compatible with either mark.
+
+The usual edge types are spelled with two marks, one per endpoint.  For an
+edge between ``x`` and ``y``:
+
+=============  ==================  =========================================
+edge           (mark at x, at y)   meaning
+=============  ==================  =========================================
+``x --> y``    (TAIL, ARROW)       x causes y
+``x <-> y``    (ARROW, ARROW)      latent confounder between x and y
+``x o-> y``    (CIRCLE, ARROW)     y does not cause x
+``x o-o y``    (CIRCLE, CIRCLE)    fully undetermined
+``x --- y``    (TAIL, TAIL)        adjacency with both ends ancestral
+=============  ==================  =========================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Mark(enum.Enum):
+    """Endpoint mark of an edge in a mixed causal graph."""
+
+    TAIL = "-"
+    ARROW = ">"
+    CIRCLE = "o"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Mark.{self.name}"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An edge between two named variables with a mark at each endpoint.
+
+    ``mark_u`` is the mark at the ``u`` endpoint and ``mark_v`` the mark at
+    the ``v`` endpoint.  Edges are stored in a canonical order inside
+    :class:`~repro.graph.mixed_graph.MixedGraph`; this class is a plain value
+    object and does not enforce the ordering itself.
+    """
+
+    u: str
+    v: str
+    mark_u: Mark
+    mark_v: Mark
+
+    def reversed(self) -> "Edge":
+        """Return the same edge viewed from the other endpoint."""
+        return Edge(self.v, self.u, self.mark_v, self.mark_u)
+
+    def is_directed(self) -> bool:
+        """True for ``u --> v`` or ``v --> u`` edges."""
+        return {self.mark_u, self.mark_v} == {Mark.TAIL, Mark.ARROW}
+
+    def is_bidirected(self) -> bool:
+        """True for ``u <-> v`` edges (latent confounding)."""
+        return self.mark_u is Mark.ARROW and self.mark_v is Mark.ARROW
+
+    def is_undetermined(self) -> bool:
+        """True if either endpoint still carries a circle mark."""
+        return Mark.CIRCLE in (self.mark_u, self.mark_v)
+
+    def points_to(self) -> str | None:
+        """Name of the endpoint the edge points into, if directed."""
+        if self.mark_v is Mark.ARROW and self.mark_u is Mark.TAIL:
+            return self.v
+        if self.mark_u is Mark.ARROW and self.mark_v is Mark.TAIL:
+            return self.u
+        return None
+
+    def __str__(self) -> str:
+        left = {Mark.TAIL: "-", Mark.ARROW: "<", Mark.CIRCLE: "o"}[self.mark_u]
+        right = {Mark.TAIL: "-", Mark.ARROW: ">", Mark.CIRCLE: "o"}[self.mark_v]
+        return f"{self.u} {left}-{right} {self.v}"

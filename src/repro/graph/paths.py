@@ -1,0 +1,95 @@
+"""Causal path utilities.
+
+Stage III of Unicorn extracts *causal paths* — directed paths that start at a
+configuration option (or a system event) and terminate at a performance
+objective — by backtracking from each objective node towards nodes without
+parents.  The extracted paths are then ranked by their average causal effect.
+This module implements the backtracking extraction and generic directed-path
+enumeration used by the inference engine and by the scalability benchmark
+(which reports the number of causal paths, Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.graph.mixed_graph import MixedGraph
+
+
+def backtrack_causal_paths(graph: MixedGraph, objective: str,
+                           stop_nodes: Iterable[str] | None = None,
+                           max_paths: int = 10_000) -> list[list[str]]:
+    """All directed paths terminating at ``objective``, found by backtracking.
+
+    Starting at ``objective`` we walk against edge direction until a node with
+    no parents (or a node in ``stop_nodes``) is reached; every branch creates
+    a new path, per the paper's description of causal path extraction.  The
+    returned paths are ordered source → objective.
+
+    Parameters
+    ----------
+    graph:
+        A (at least partially) directed mixed graph.
+    objective:
+        The performance objective node to backtrack from.
+    stop_nodes:
+        Optional set of nodes at which backtracking stops even if they have
+        parents (used to stop at configuration options).
+    max_paths:
+        Safety bound against combinatorial explosion in dense graphs.
+    """
+    stops = set(stop_nodes or ())
+    paths: list[list[str]] = []
+
+    def _backtrack(node: str, suffix: list[str], on_path: set[str]) -> None:
+        if len(paths) >= max_paths:
+            return
+        parents = graph.parents(node)
+        terminal = not parents or node in stops
+        if terminal and len(suffix) > 1:
+            paths.append(list(reversed(suffix)))
+            return
+        extended = False
+        for parent in sorted(parents):
+            if parent in on_path:
+                continue
+            extended = True
+            _backtrack(parent, suffix + [parent], on_path | {parent})
+        if not extended and len(suffix) > 1:
+            paths.append(list(reversed(suffix)))
+
+    _backtrack(objective, [objective], {objective})
+    return paths
+
+
+def directed_paths(graph: MixedGraph, source: str, target: str,
+                   max_paths: int = 10_000) -> list[list[str]]:
+    """Enumerate all directed paths ``source -> ... -> target``."""
+    paths: list[list[str]] = []
+
+    def _walk(node: str, prefix: list[str], on_path: set[str]) -> None:
+        if len(paths) >= max_paths:
+            return
+        if node == target:
+            paths.append(list(prefix))
+            return
+        for child in sorted(graph.children(node)):
+            if child in on_path:
+                continue
+            _walk(child, prefix + [child], on_path | {child})
+
+    _walk(source, [source], {source})
+    return paths
+
+
+def path_edges(path: Sequence[str]) -> list[tuple[str, str]]:
+    """Consecutive ``(cause, effect)`` pairs along a path."""
+    return [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+
+def nodes_on_paths(paths: Iterable[Sequence[str]]) -> set[str]:
+    """Union of all nodes appearing on any of the given paths."""
+    out: set[str] = set()
+    for path in paths:
+        out.update(path)
+    return out

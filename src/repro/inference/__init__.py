@@ -1,0 +1,33 @@
+"""Causal inference engine.
+
+Implements Stages III and V of Unicorn on top of a fitted causal performance
+model: estimation of average causal effects (ACE) of options on objectives,
+extraction and ranking of causal paths, generation of candidate repairs and
+their individual-causal-effect (ICE) scoring via counterfactual reasoning, and
+the translation of human-level performance queries into causal queries.
+"""
+
+from repro.inference.effects import (
+    average_causal_effect,
+    option_effects_on_objective,
+    path_average_causal_effect,
+)
+from repro.inference.paths import CausalPath, extract_ranked_paths
+from repro.inference.repairs import Repair, RepairSet, generate_repair_set
+from repro.inference.queries import CausalQuery, PerformanceQuery, QueryKind
+from repro.inference.engine import CausalInferenceEngine
+
+__all__ = [
+    "average_causal_effect",
+    "option_effects_on_objective",
+    "path_average_causal_effect",
+    "CausalPath",
+    "extract_ranked_paths",
+    "Repair",
+    "RepairSet",
+    "generate_repair_set",
+    "CausalQuery",
+    "PerformanceQuery",
+    "QueryKind",
+    "CausalInferenceEngine",
+]

@@ -1,0 +1,231 @@
+"""The causal inference engine.
+
+``CausalInferenceEngine`` binds a learned causal performance model (graph +
+fitted structural equations + observational data) to the query-answering
+machinery: causal effects, ranked causal paths, repair sets scored by
+counterfactual ICE, satisfaction probabilities and plain performance
+prediction.  It is the object Stage V of Unicorn evaluates performance
+queries against, and Stage III uses it to pick the next configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.discovery.constraints import StructuralConstraints
+from repro.discovery.pipeline import LearnedModel
+from repro.inference.effects import (
+    average_causal_effect,
+    option_effects_on_objective,
+)
+from repro.inference.paths import CausalPath, extract_ranked_paths, root_cause_options
+from repro.inference.queries import (
+    CausalQuery,
+    PerformanceQuery,
+    QoSConstraint,
+    QueryKind,
+    translate,
+)
+from repro.inference.repairs import RepairSet, generate_repair_set
+from repro.scm.fitting import FittedPerformanceModel, fit_structural_equations
+
+
+@dataclass
+class QueryAnswer:
+    """Answer to one performance query."""
+
+    query: PerformanceQuery
+    causal_queries: list[CausalQuery]
+    root_causes: list[str]
+    repairs: RepairSet | None
+    estimates: dict[str, float]
+    identifiable: bool = True
+    notes: str = ""
+
+
+class CausalInferenceEngine:
+    """Query interface over a learned causal performance model.
+
+    Parameters
+    ----------
+    learned:
+        The output of :class:`repro.discovery.pipeline.CausalModelLearner`.
+    domains:
+        Mapping from option name to its permissible values (used for ACE
+        averaging and repair enumeration).
+    top_k_paths:
+        Number of top-ranked causal paths retained per objective (the paper
+        uses K between 3 and 25).
+    """
+
+    def __init__(self, learned: LearnedModel,
+                 domains: Mapping[str, Sequence[float]],
+                 top_k_paths: int = 5, max_contexts: int = 60) -> None:
+        self._learned = learned
+        self._domains = {k: tuple(float(x) for x in v)
+                         for k, v in domains.items()}
+        self._top_k = top_k_paths
+        self._max_contexts = max_contexts
+        self._fitted: FittedPerformanceModel = fit_structural_equations(
+            learned.graph, learned.data)
+        self._path_cache: dict[tuple[str, ...], list[CausalPath]] = {}
+
+    # ------------------------------------------------------------ properties
+    @property
+    def learned_model(self) -> LearnedModel:
+        return self._learned
+
+    @property
+    def fitted_model(self) -> FittedPerformanceModel:
+        return self._fitted
+
+    @property
+    def constraints(self) -> StructuralConstraints:
+        return self._learned.constraints
+
+    @property
+    def domains(self) -> dict[str, tuple[float, ...]]:
+        return dict(self._domains)
+
+    # ------------------------------------------------------------- estimates
+    def causal_effect(self, option: str, objective: str) -> float:
+        """ACE of one option on one objective."""
+        return average_causal_effect(self._fitted, objective, option,
+                                     domains=self._domains,
+                                     max_contexts=self._max_contexts)
+
+    def option_effects(self, objective: str,
+                       options: Sequence[str] | None = None) -> dict[str, float]:
+        """|ACE| of every (intervenable) option on an objective."""
+        if options is None:
+            options = [o for o in self.constraints.options()
+                       if self.constraints.is_intervenable(o)
+                       and o in self._learned.data.columns]
+        return option_effects_on_objective(
+            self._fitted, objective, options, domains=self._domains,
+            max_contexts=self._max_contexts)
+
+    def ranked_paths(self, objectives: Sequence[str]) -> list[CausalPath]:
+        """Top-K causal paths per objective, ranked by Path_ACE."""
+        key = tuple(sorted(objectives))
+        if key not in self._path_cache:
+            self._path_cache[key] = extract_ranked_paths(
+                self._learned.graph, self._fitted, objectives,
+                self.constraints, domains=self._domains, top_k=self._top_k,
+                max_contexts=self._max_contexts)
+        return self._path_cache[key]
+
+    def predict(self, configuration: Mapping[str, float],
+                objectives: Sequence[str]) -> dict[str, float]:
+        """Conditional-expectation prediction of objectives for a config."""
+        return self._fitted.predict(configuration, targets=list(objectives))
+
+    def interventional_expectation(self, objective: str,
+                                   intervention: Mapping[str, float]) -> float:
+        return self._fitted.interventional_expectation(
+            objective, intervention, max_contexts=self._max_contexts)
+
+    def satisfaction_probability(self, constraint: QoSConstraint,
+                                 intervention: Mapping[str, float]) -> float:
+        """P(objective satisfies constraint | do(intervention)).
+
+        Estimated by applying the intervention to every observed context and
+        counting the fraction of counterfactual outcomes that satisfy the QoS
+        constraint.
+        """
+        rows = self._fitted.data.rows()
+        if not rows:
+            return 0.0
+        satisfied = 0
+        for row in rows:
+            outcome = self._fitted.counterfactual(row, intervention)
+            if constraint.satisfied_by(outcome.get(constraint.objective, 0.0)):
+                satisfied += 1
+        return satisfied / len(rows)
+
+    # ---------------------------------------------------------------- repairs
+    def root_causes(self, objectives: Mapping[str, str],
+                    limit: int | None = None) -> list[str]:
+        paths = self.ranked_paths(list(objectives))
+        return root_cause_options(paths, self.constraints, limit=limit)
+
+    def repair_set(self, faulty_configuration: Mapping[str, float],
+                   faulty_measurement: Mapping[str, float],
+                   objectives: Mapping[str, str],
+                   max_repairs: int = 300) -> RepairSet:
+        paths = self.ranked_paths(list(objectives))
+        return generate_repair_set(
+            self._fitted, paths, self.constraints, self._domains,
+            faulty_configuration, faulty_measurement, objectives,
+            max_repairs=max_repairs)
+
+    # ----------------------------------------------------------------- queries
+    def answer(self, query: PerformanceQuery,
+               faulty_configuration: Mapping[str, float] | None = None,
+               faulty_measurement: Mapping[str, float] | None = None) -> QueryAnswer:
+        """Estimate a performance query on the current causal model.
+
+        Root-cause and repair queries require the faulty configuration and
+        its measurement; effect and satisfaction queries only need the
+        intervention carried by the query itself.
+        """
+        causal_queries = translate(query)
+        root_causes: list[str] = []
+        repairs: RepairSet | None = None
+        estimates: dict[str, float] = {}
+        identifiable = True
+        notes = ""
+
+        if query.kind in (QueryKind.ROOT_CAUSE, QueryKind.REPAIR):
+            if faulty_configuration is None or faulty_measurement is None:
+                identifiable = False
+                notes = ("root-cause and repair queries require the faulty "
+                         "configuration and its measurement")
+            else:
+                root_causes = self.root_causes(query.objectives)
+                repairs = self.repair_set(faulty_configuration,
+                                          faulty_measurement,
+                                          query.objectives)
+        elif query.kind is QueryKind.EFFECT:
+            for objective in query.objectives:
+                estimates[objective] = self.interventional_expectation(
+                    objective, query.intervention)
+        elif query.kind is QueryKind.SATISFACTION:
+            constraint = query.constraints[0]
+            estimates[constraint.objective] = self.satisfaction_probability(
+                constraint, query.intervention)
+        elif query.kind is QueryKind.OPTIMIZE:
+            for objective, direction in query.objectives.items():
+                effects = self.option_effects(objective)
+                if effects:
+                    best_option = max(effects, key=effects.get)
+                    estimates[objective] = effects[best_option]
+                    notes = (f"option with the largest causal effect on "
+                             f"{objective}: {best_option}")
+
+        return QueryAnswer(query=query, causal_queries=causal_queries,
+                           root_causes=root_causes, repairs=repairs,
+                           estimates=estimates, identifiable=identifiable,
+                           notes=notes)
+
+    # ------------------------------------------------------ sampling heuristic
+    def sampling_probabilities(self, objectives: Sequence[str]) -> dict[str, float]:
+        """Probability of perturbing each option in the next measurement.
+
+        Proportional to the option's total |ACE| across the objectives —
+        options with larger causal effects are more likely to be changed,
+        which is the Stage III exploration heuristic.
+        """
+        totals: dict[str, float] = {}
+        for objective in objectives:
+            for option, effect in self.option_effects(objective).items():
+                totals[option] = totals.get(option, 0.0) + effect
+        values = np.array(list(totals.values()), dtype=float)
+        if values.sum() <= 0:
+            uniform = 1.0 / max(len(totals), 1)
+            return {option: uniform for option in totals}
+        values = values / values.sum()
+        return {option: float(p) for option, p in zip(totals, values)}

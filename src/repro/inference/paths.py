@@ -1,0 +1,91 @@
+"""Causal path extraction and ranking (Stage III).
+
+A causal path is a directed path originating at a configuration option (or a
+system event) and terminating at a performance objective.  Paths are extracted
+by backtracking from the objective nodes and ranked by their average causal
+effect (Path_ACE, Eq. 1 of the paper); only the top-K paths are used for
+repair generation, which keeps reasoning tractable even when the graph has
+hundreds of nodes (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.discovery.constraints import StructuralConstraints
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.paths import backtrack_causal_paths
+from repro.inference.effects import path_average_causal_effect
+from repro.scm.fitting import FittedPerformanceModel
+
+
+@dataclass(frozen=True)
+class CausalPath:
+    """A ranked causal path terminating at a performance objective."""
+
+    nodes: tuple[str, ...]
+    objective: str
+    ace: float
+
+    @property
+    def source(self) -> str:
+        return self.nodes[0]
+
+    def options_on_path(self, constraints: StructuralConstraints) -> list[str]:
+        """Configuration options appearing on this path."""
+        option_set = set(constraints.options())
+        return [n for n in self.nodes if n in option_set]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def extract_ranked_paths(graph: MixedGraph, model: FittedPerformanceModel,
+                         objectives: Sequence[str],
+                         constraints: StructuralConstraints,
+                         domains: Mapping[str, Sequence[float]] | None = None,
+                         top_k: int = 5,
+                         max_contexts: int = 60) -> list[CausalPath]:
+    """Extract causal paths for every objective and keep the top-K by ACE.
+
+    Paths that contain no configuration option are discarded (a repair must
+    change at least one option); ranking uses the absolute path ACE so that
+    both strongly harmful and strongly beneficial paths surface.
+    """
+    option_set = set(constraints.options())
+    ranked: list[CausalPath] = []
+    for objective in objectives:
+        if not graph.has_node(objective):
+            continue
+        raw_paths = backtrack_causal_paths(graph, objective)
+        candidates: list[CausalPath] = []
+        for nodes in raw_paths:
+            if not any(node in option_set for node in nodes):
+                continue
+            ace = path_average_causal_effect(model, nodes, domains=domains,
+                                             max_contexts=max_contexts)
+            candidates.append(CausalPath(nodes=tuple(nodes),
+                                         objective=objective, ace=ace))
+        candidates.sort(key=lambda p: p.ace, reverse=True)
+        ranked.extend(candidates[:top_k])
+    ranked.sort(key=lambda p: p.ace, reverse=True)
+    return ranked
+
+
+def root_cause_options(paths: Sequence[CausalPath],
+                       constraints: StructuralConstraints,
+                       limit: int | None = None) -> list[str]:
+    """Options on the top-ranked paths, ordered by first appearance.
+
+    These are the root-cause candidates that Unicorn reports for a
+    performance fault.
+    """
+    seen: list[str] = []
+    for path in paths:
+        for option in path.options_on_path(constraints):
+            if option not in seen:
+                seen.append(option)
+    if limit is not None:
+        seen = seen[:limit]
+    return seen

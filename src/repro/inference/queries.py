@@ -1,0 +1,157 @@
+"""Performance queries and their causal translations (Stage I / Stage V).
+
+Users express performance tasks as :class:`PerformanceQuery` objects — "what
+is the root cause of my latency fault?", "how do I bring throughput above 40
+FPS?", "what is the effect of Swappiness on energy?" — and Unicorn translates
+them into :class:`CausalQuery` objects over the learned model: interventional
+expectations (``E[Y | do(X = x)]``), probability-of-satisfaction queries
+(``P(Y > threshold | do(X = x))``) and counterfactual repair queries.  The
+translation is rule-based, mirroring the manual translation described in the
+paper (the grammar-based automation is listed as future work).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class QueryKind(enum.Enum):
+    """The performance tasks Unicorn supports."""
+
+    ROOT_CAUSE = "root_cause"
+    REPAIR = "repair"
+    OPTIMIZE = "optimize"
+    EFFECT = "effect"
+    SATISFACTION = "satisfaction"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryKind.{self.name}"
+
+
+@dataclass(frozen=True)
+class QoSConstraint:
+    """A quality-of-service constraint on one objective.
+
+    ``direction`` is ``"minimize"`` or ``"maximize"``; ``threshold`` is the
+    value the objective must beat (e.g. throughput > 40 FPS → direction
+    ``maximize``, threshold 40).
+    """
+
+    objective: str
+    direction: str
+    threshold: float | None = None
+
+    def satisfied_by(self, value: float) -> bool:
+        if self.threshold is None:
+            return True
+        if self.direction == "minimize":
+            return value <= self.threshold
+        return value >= self.threshold
+
+
+@dataclass(frozen=True)
+class PerformanceQuery:
+    """A human-level performance question.
+
+    Parameters
+    ----------
+    kind:
+        Which performance task the query describes.
+    objectives:
+        Mapping from objective name to optimization direction
+        (``"minimize"`` / ``"maximize"``).
+    constraints:
+        Optional QoS constraints (used by satisfaction queries and to decide
+        when a fault is considered fixed).
+    intervention:
+        For :attr:`QueryKind.EFFECT` and :attr:`QueryKind.SATISFACTION`
+        queries: the hypothetical configuration change being asked about.
+    description:
+        Free-text description (kept for reporting; not parsed).
+    """
+
+    kind: QueryKind
+    objectives: Mapping[str, str]
+    constraints: tuple[QoSConstraint, ...] = ()
+    intervention: Mapping[str, float] = field(default_factory=dict)
+    description: str = ""
+
+    def direction(self, objective: str) -> str:
+        return self.objectives[objective]
+
+    @classmethod
+    def root_cause(cls, objectives: Mapping[str, str],
+                   description: str = "") -> "PerformanceQuery":
+        return cls(kind=QueryKind.ROOT_CAUSE, objectives=dict(objectives),
+                   description=description)
+
+    @classmethod
+    def repair(cls, objectives: Mapping[str, str],
+               constraints: tuple[QoSConstraint, ...] = (),
+               description: str = "") -> "PerformanceQuery":
+        return cls(kind=QueryKind.REPAIR, objectives=dict(objectives),
+                   constraints=constraints, description=description)
+
+    @classmethod
+    def optimize(cls, objectives: Mapping[str, str],
+                 description: str = "") -> "PerformanceQuery":
+        return cls(kind=QueryKind.OPTIMIZE, objectives=dict(objectives),
+                   description=description)
+
+    @classmethod
+    def effect_of(cls, intervention: Mapping[str, float],
+                  objectives: Mapping[str, str],
+                  description: str = "") -> "PerformanceQuery":
+        return cls(kind=QueryKind.EFFECT, objectives=dict(objectives),
+                   intervention=dict(intervention), description=description)
+
+    @classmethod
+    def satisfaction(cls, intervention: Mapping[str, float],
+                     constraint: QoSConstraint,
+                     description: str = "") -> "PerformanceQuery":
+        return cls(kind=QueryKind.SATISFACTION,
+                   objectives={constraint.objective: constraint.direction},
+                   constraints=(constraint,),
+                   intervention=dict(intervention), description=description)
+
+
+@dataclass(frozen=True)
+class CausalQuery:
+    """A formal causal query derived from a performance query.
+
+    ``expression`` is a do-calculus-style rendering kept for reporting, e.g.
+    ``P(Throughput > 40 | do(BufferSize = 6000))``.
+    """
+
+    kind: QueryKind
+    target: str
+    intervention: Mapping[str, float]
+    expression: str
+
+
+def translate(query: PerformanceQuery) -> list[CausalQuery]:
+    """Translate a performance query into one causal query per objective."""
+    causal_queries: list[CausalQuery] = []
+    for objective in query.objectives:
+        if query.kind is QueryKind.SATISFACTION and query.constraints:
+            constraint = query.constraints[0]
+            op = "<" if constraint.direction == "minimize" else ">"
+            expr = (f"P({objective} {op} {constraint.threshold} | "
+                    f"do({_format_intervention(query.intervention)}))")
+        elif query.kind is QueryKind.EFFECT:
+            expr = (f"E[{objective} | "
+                    f"do({_format_intervention(query.intervention)})]")
+        else:
+            expr = f"argmax_config E[{objective} | do(config)]"
+        causal_queries.append(CausalQuery(kind=query.kind, target=objective,
+                                          intervention=dict(query.intervention),
+                                          expression=expr))
+    return causal_queries
+
+
+def _format_intervention(intervention: Mapping[str, float]) -> str:
+    if not intervention:
+        return "·"
+    return ", ".join(f"{k}={v:g}" for k, v in sorted(intervention.items()))

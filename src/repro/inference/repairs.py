@@ -1,0 +1,171 @@
+"""Repair-set generation and individual-causal-effect scoring.
+
+Given the top-K causal paths and the faulty configuration, Unicorn builds a
+*repair set*: for every option on a top path, one candidate repair per
+permissible value of that option (all other options staying at their faulty
+values), plus combined repairs that change all top-path options at once.  Each
+candidate repair ``r`` is scored with the individual causal effect
+
+    ICE(r) = Pr(Y improves | do(r), factual fault) -
+             Pr(Y stays faulty | do(r), factual fault)
+
+estimated by counterfactual replay on the fitted performance model — no new
+measurements are needed, which is what makes Unicorn fast (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.discovery.constraints import StructuralConstraints
+from repro.inference.paths import CausalPath
+from repro.scm.fitting import FittedPerformanceModel
+
+
+@dataclass(frozen=True)
+class Repair:
+    """A candidate configuration change.
+
+    ``ice`` is the individual causal effect (a probability-difference style
+    score in [-1, 1]); ``improvement`` is the raw mean relative improvement of
+    the counterfactual prediction over the fault, used to break ties between
+    repairs whose ICE saturates.
+    """
+
+    changes: tuple[tuple[str, float], ...]
+    ice: float = 0.0
+    improvement: float = 0.0
+    predicted: tuple[tuple[str, float], ...] = ()
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.changes)
+
+    def predicted_objectives(self) -> dict[str, float]:
+        return dict(self.predicted)
+
+    def changed_options(self) -> list[str]:
+        return [name for name, _ in self.changes]
+
+
+@dataclass
+class RepairSet:
+    """All candidate repairs generated for a fault, ranked by ICE."""
+
+    repairs: list[Repair] = field(default_factory=list)
+
+    def best(self) -> Repair | None:
+        return self.repairs[0] if self.repairs else None
+
+    def top(self, k: int) -> list[Repair]:
+        return self.repairs[:k]
+
+    def __len__(self) -> int:
+        return len(self.repairs)
+
+    def __iter__(self):
+        return iter(self.repairs)
+
+
+def _objective_improves(predicted: Mapping[str, float],
+                        faulty: Mapping[str, float],
+                        objectives: Mapping[str, str]) -> dict[str, float]:
+    """Per-objective improvement of a prediction over the faulty values.
+
+    ``objectives`` maps objective name to its direction, ``"minimize"`` or
+    ``"maximize"``.  Positive margins mean improvement.
+    """
+    margins: dict[str, float] = {}
+    for objective, direction in objectives.items():
+        fault_value = float(faulty[objective])
+        new_value = float(predicted.get(objective, fault_value))
+        scale = max(abs(fault_value), 1e-9)
+        if direction == "minimize":
+            margins[objective] = (fault_value - new_value) / scale
+        else:
+            margins[objective] = (new_value - fault_value) / scale
+    return margins
+
+
+def individual_causal_effect(model: FittedPerformanceModel,
+                             faulty_configuration: Mapping[str, float],
+                             faulty_measurement: Mapping[str, float],
+                             changes: Mapping[str, float],
+                             objectives: Mapping[str, str]
+                             ) -> tuple[float, float, dict[str, float]]:
+    """ICE of one candidate repair, plus the predicted objective values.
+
+    The counterfactual outcome of the faulty sample under the repair is
+    computed by abduction–action–prediction; the ICE is the mean, over the
+    objectives, of a smooth improvement score in [-1, 1]: the probability that
+    the objective improves minus the probability that it stays faulty, with
+    the margin acting as the (soft) probability.  The raw mean margin is also
+    returned so callers can break ties between saturated ICE scores.
+    """
+    observation = dict(faulty_measurement)
+    observation.update({k: float(v) for k, v in faulty_configuration.items()})
+    counterfactual = model.counterfactual(observation, changes)
+    margins = _objective_improves(counterfactual, faulty_measurement,
+                                  objectives)
+    scores = [float(np.tanh(4.0 * margin)) for margin in margins.values()]
+    ice = float(np.mean(scores)) if scores else 0.0
+    improvement = float(np.mean(list(margins.values()))) if margins else 0.0
+    predicted = {o: counterfactual.get(o, float(faulty_measurement[o]))
+                 for o in objectives}
+    return ice, improvement, predicted
+
+
+def generate_repair_set(model: FittedPerformanceModel,
+                        paths: Sequence[CausalPath],
+                        constraints: StructuralConstraints,
+                        domains: Mapping[str, Sequence[float]],
+                        faulty_configuration: Mapping[str, float],
+                        faulty_measurement: Mapping[str, float],
+                        objectives: Mapping[str, str],
+                        max_combined_options: int = 4,
+                        max_repairs: int = 300) -> RepairSet:
+    """Build and rank the repair set for a fault.
+
+    Single-option repairs enumerate every permissible value of every option on
+    a top path; combined repairs take the cartesian product over the (at most
+    ``max_combined_options``) highest-impact path options, capped at
+    ``max_repairs`` candidates in total.
+    """
+    path_options: list[str] = []
+    for path in paths:
+        for option in path.options_on_path(constraints):
+            if option not in path_options and constraints.is_intervenable(option):
+                path_options.append(option)
+
+    candidates: list[dict[str, float]] = []
+    for option in path_options:
+        for value in domains.get(option, ()):
+            if float(value) == float(faulty_configuration.get(option, value)):
+                continue
+            candidates.append({option: float(value)})
+
+    combine = path_options[:max_combined_options]
+    if len(combine) >= 2:
+        value_lists = [[float(v) for v in domains.get(option, ())]
+                       for option in combine]
+        for combo in itertools.product(*value_lists):
+            change = {option: value for option, value in zip(combine, combo)
+                      if value != float(faulty_configuration.get(option, value))}
+            if len(change) >= 2:
+                candidates.append(change)
+            if len(candidates) >= max_repairs:
+                break
+
+    repairs: list[Repair] = []
+    for change in candidates[:max_repairs]:
+        ice, improvement, predicted = individual_causal_effect(
+            model, faulty_configuration, faulty_measurement, change,
+            objectives)
+        repairs.append(Repair(changes=tuple(sorted(change.items())), ice=ice,
+                              improvement=improvement,
+                              predicted=tuple(sorted(predicted.items()))))
+    repairs.sort(key=lambda r: (r.ice, r.improvement), reverse=True)
+    return RepairSet(repairs=repairs)

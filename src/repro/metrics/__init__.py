@@ -1,0 +1,39 @@
+"""Evaluation metrics.
+
+Implements the metrics of Section 6: ACE-weighted Jaccard accuracy,
+precision/recall of predicted root causes, performance gain of a repair,
+hypervolume error for multi-objective optimization, MAPE and rank-stability
+metrics for the transferability analyses, plus the graph distances re-exported
+from :mod:`repro.graph.distances`.
+"""
+
+from repro.graph.distances import skeleton_f1, structural_hamming_distance
+from repro.metrics.debugging import (
+    ace_weighted_accuracy,
+    gain,
+    precision_recall,
+)
+from repro.metrics.optimization import (
+    hypervolume,
+    hypervolume_error,
+    pareto_front,
+)
+from repro.metrics.regression import (
+    mean_absolute_percentage_error,
+    rank_correlation,
+    term_stability,
+)
+
+__all__ = [
+    "ace_weighted_accuracy",
+    "precision_recall",
+    "gain",
+    "hypervolume",
+    "hypervolume_error",
+    "pareto_front",
+    "mean_absolute_percentage_error",
+    "rank_correlation",
+    "term_stability",
+    "structural_hamming_distance",
+    "skeleton_f1",
+]

@@ -1,0 +1,62 @@
+"""Debugging metrics: accuracy, precision, recall and gain.
+
+Accuracy is the ACE-weighted Jaccard similarity between the predicted and
+true root causes: with ``A`` the options recommended by an approach, ``B``
+the options of the ground-truth fix, and ``w`` the ground-truth average
+causal effects of options on the objective,
+
+    accuracy = sum(w[o] for o in A ∩ B) / sum(w[o] for o in A ∪ B)
+
+Precision and recall are the usual set metrics over predicted vs. true root
+causes, and gain is the relative improvement of the suggested fix over the
+observed fault.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def ace_weighted_accuracy(predicted: Iterable[str], true: Iterable[str],
+                          weights: Mapping[str, float]) -> float:
+    """ACE-weighted Jaccard similarity between predicted and true root causes."""
+    predicted_set = set(predicted)
+    true_set = set(true)
+    union = predicted_set | true_set
+    if not union:
+        return 1.0
+    intersection = predicted_set & true_set
+
+    def weight(option: str) -> float:
+        return max(float(weights.get(option, 0.0)), 0.0)
+
+    union_weight = sum(weight(o) for o in union)
+    if union_weight <= 0:
+        # Degenerate weights: fall back to the unweighted Jaccard index.
+        return len(intersection) / len(union)
+    return sum(weight(o) for o in intersection) / union_weight
+
+
+def precision_recall(predicted: Iterable[str],
+                     true: Iterable[str]) -> dict[str, float]:
+    """Precision and recall of the predicted root causes."""
+    predicted_set = set(predicted)
+    true_set = set(true)
+    true_positive = len(predicted_set & true_set)
+    precision = true_positive / len(predicted_set) if predicted_set else 0.0
+    recall = true_positive / len(true_set) if true_set else 0.0
+    return {"precision": precision, "recall": recall}
+
+
+def gain(fault_value: float, fixed_value: float,
+         direction: str = "minimize") -> float:
+    """Percentage improvement of the fix over the fault.
+
+    For minimised objectives this is ``(fault - fixed) / fault * 100``; for
+    maximised objectives the sign is flipped so that positive gain always
+    means improvement.
+    """
+    denominator = abs(fault_value) if fault_value != 0 else 1e-9
+    if direction == "minimize":
+        return (fault_value - fixed_value) / denominator * 100.0
+    return (fixed_value - fault_value) / denominator * 100.0

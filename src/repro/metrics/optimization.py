@@ -1,0 +1,82 @@
+"""Multi-objective optimization metrics: Pareto fronts and hypervolume.
+
+The multi-objective comparison against PESMO (Fig. 15c/d) uses the
+*hypervolume error*: one minus the ratio of the hypervolume dominated by the
+discovered Pareto front to the hypervolume dominated by a reference (ideal)
+front, measured against a fixed reference point.  All objectives are treated
+as minimised; callers negate maximised objectives first.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> list[tuple[float, ...]]:
+    """Non-dominated subset of ``points`` (all objectives minimised)."""
+    array = np.asarray(points, dtype=float)
+    if array.size == 0:
+        return []
+    keep: list[int] = []
+    for i, candidate in enumerate(array):
+        dominated = False
+        for j, other in enumerate(array):
+            if i == j:
+                continue
+            if np.all(other <= candidate) and np.any(other < candidate):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    front = [tuple(float(v) for v in array[i]) for i in keep]
+    return sorted(set(front))
+
+
+def hypervolume(front: Sequence[Sequence[float]],
+                reference: Sequence[float]) -> float:
+    """Hypervolume dominated by a (minimisation) front w.r.t. a reference point.
+
+    Exact for one or two objectives (the paper's case); for higher dimensions
+    a Monte-Carlo estimate with a fixed seed is used.
+    """
+    points = [tuple(float(v) for v in p) for p in pareto_front(front)]
+    reference = tuple(float(v) for v in reference)
+    if not points:
+        return 0.0
+    dim = len(reference)
+    points = [p for p in points if all(p[i] <= reference[i] for i in range(dim))]
+    if not points:
+        return 0.0
+    if dim == 1:
+        return max(reference[0] - min(p[0] for p in points), 0.0)
+    if dim == 2:
+        # Sweep over x ascending; each point contributes the rectangle between
+        # its y and the best (lowest) y seen so far, out to the reference x.
+        total = 0.0
+        best_y = reference[1]
+        for x, y in sorted(points):
+            if y < best_y:
+                total += (reference[0] - x) * (best_y - y)
+                best_y = y
+        return total
+    rng = np.random.default_rng(0)
+    lower = np.min(np.asarray(points), axis=0)
+    samples = rng.uniform(lower, reference, size=(20_000, dim))
+    dominated = np.zeros(len(samples), dtype=bool)
+    for point in points:
+        dominated |= np.all(samples >= np.asarray(point), axis=1)
+    box_volume = float(np.prod(np.asarray(reference) - lower))
+    return box_volume * float(np.mean(dominated))
+
+
+def hypervolume_error(front: Sequence[Sequence[float]],
+                      reference_front: Sequence[Sequence[float]],
+                      reference_point: Sequence[float]) -> float:
+    """1 - HV(front) / HV(reference_front), clipped to [0, 1]."""
+    reference_volume = hypervolume(reference_front, reference_point)
+    if reference_volume <= 0:
+        return 0.0
+    achieved = hypervolume(front, reference_point)
+    return float(min(max(1.0 - achieved / reference_volume, 0.0), 1.0))

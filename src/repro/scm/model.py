@@ -1,0 +1,194 @@
+"""Structural causal model: sampling, interventions and counterfactuals.
+
+``StructuralCausalModel`` combines
+
+* a set of exogenous variables (configuration options) with value domains,
+* a mechanism per endogenous variable (system events and objectives),
+* a noise model per endogenous variable,
+
+and supports the three rungs of the causal hierarchy that Unicorn relies on:
+
+* **observation** — :meth:`sample` draws measurement tuples,
+* **intervention** — :meth:`intervene` computes the system's response to a
+  configuration (``do(options = ...)``), which is what "deploying and
+  measuring a configuration" means in the simulator,
+* **counterfactuals** — :meth:`counterfactual` performs
+  abduction–action–prediction for an observed sample: the realised noise is
+  recovered from the factual observation and replayed under the intervention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.graph.dag import CausalDAG
+from repro.scm.mechanisms import Mechanism
+from repro.scm.noise import NoNoise, NoiseModel
+
+
+class StructuralCausalModel:
+    """A ground-truth (or fitted) structural causal model.
+
+    Parameters
+    ----------
+    exogenous:
+        Mapping from exogenous variable name (configuration options in the
+        performance setting) to the tuple of values it may take.  Exogenous
+        variables have no mechanism; their values come from the configuration
+        being measured (or from uniform sampling over the domain).
+    mechanisms:
+        Mapping from endogenous variable name to its :class:`Mechanism`.
+    noise:
+        Optional mapping from endogenous variable name to a noise model;
+        variables without an entry are deterministic.
+    """
+
+    def __init__(self, exogenous: Mapping[str, Iterable[float]],
+                 mechanisms: Mapping[str, Mechanism],
+                 noise: Mapping[str, NoiseModel] | None = None) -> None:
+        self._exogenous = {name: tuple(float(v) for v in values)
+                           for name, values in exogenous.items()}
+        self._mechanisms = dict(mechanisms)
+        self._noise = dict(noise or {})
+        overlap = set(self._exogenous) & set(self._mechanisms)
+        if overlap:
+            raise ValueError(
+                f"variables cannot be both exogenous and endogenous: {overlap}")
+        self._dag = self._build_dag()
+        self._topo = [v for v in self._dag.topological_order()
+                      if v in self._mechanisms]
+
+    # ------------------------------------------------------------ structure
+    def _build_dag(self) -> CausalDAG:
+        dag = CausalDAG(list(self._exogenous) + list(self._mechanisms))
+        for variable, mechanism in self._mechanisms.items():
+            for parent in mechanism.parents:
+                if parent not in self._exogenous and parent not in self._mechanisms:
+                    raise ValueError(
+                        f"mechanism for {variable!r} references unknown "
+                        f"parent {parent!r}")
+                dag.add_edge(parent, variable)
+        return dag
+
+    @property
+    def dag(self) -> CausalDAG:
+        return self._dag
+
+    @property
+    def exogenous_variables(self) -> list[str]:
+        return list(self._exogenous)
+
+    @property
+    def endogenous_variables(self) -> list[str]:
+        return list(self._mechanisms)
+
+    @property
+    def variables(self) -> list[str]:
+        return list(self._exogenous) + list(self._mechanisms)
+
+    def domain(self, variable: str) -> tuple[float, ...]:
+        return self._exogenous[variable]
+
+    def mechanism(self, variable: str) -> Mechanism:
+        return self._mechanisms[variable]
+
+    def noise_model(self, variable: str) -> NoiseModel:
+        return self._noise.get(variable, NoNoise())
+
+    # ------------------------------------------------------------- evaluation
+    def _propagate(self, exogenous_values: Mapping[str, float],
+                   noise_values: Mapping[str, float]) -> dict[str, float]:
+        values: dict[str, float] = {k: float(v)
+                                    for k, v in exogenous_values.items()}
+        for variable in self._topo:
+            mechanism = self._mechanisms[variable]
+            structural = mechanism.evaluate(values)
+            values[variable] = structural + noise_values.get(variable, 0.0)
+        return values
+
+    def _draw_noise(self, rng: np.random.Generator) -> dict[str, float]:
+        return {variable: self.noise_model(variable).sample(rng)
+                for variable in self._mechanisms}
+
+    def intervene(self, configuration: Mapping[str, float],
+                  rng: np.random.Generator | None = None,
+                  noise: Mapping[str, float] | None = None) -> dict[str, float]:
+        """Evaluate the system under ``do(options = configuration)``.
+
+        Missing exogenous variables default to the first value of their
+        domain.  When ``noise`` is given it is used verbatim (counterfactual
+        replay); otherwise fresh noise is drawn from ``rng`` (or zero noise
+        when ``rng`` is ``None``).
+        """
+        full_config = {name: float(configuration.get(name, domain[0]))
+                       for name, domain in self._exogenous.items()}
+        if noise is None:
+            noise = self._draw_noise(rng) if rng is not None else {}
+        return self._propagate(full_config, noise)
+
+    def sample(self, n: int, rng: np.random.Generator,
+               configurations: Iterable[Mapping[str, float]] | None = None
+               ) -> list[dict[str, float]]:
+        """Draw ``n`` observational samples.
+
+        If ``configurations`` is given they are measured in order (cycling if
+        fewer than ``n``); otherwise configurations are drawn uniformly at
+        random from the exogenous domains — the observational distribution of
+        the simulator.
+        """
+        rows: list[dict[str, float]] = []
+        config_list = list(configurations) if configurations is not None else None
+        for i in range(n):
+            if config_list:
+                config = config_list[i % len(config_list)]
+            else:
+                config = {name: float(rng.choice(domain))
+                          for name, domain in self._exogenous.items()}
+            rows.append(self.intervene(config, rng=rng))
+        return rows
+
+    # --------------------------------------------------------- counterfactual
+    def abduct_noise(self, observation: Mapping[str, float]) -> dict[str, float]:
+        """Recover the exogenous noise that produced ``observation``.
+
+        For additive-noise mechanisms the realised noise of each endogenous
+        variable is the residual between the observed value and the
+        mechanism's prediction from the observed parents.
+        """
+        noise: dict[str, float] = {}
+        for variable in self._topo:
+            mechanism = self._mechanisms[variable]
+            predicted = mechanism.evaluate(observation)
+            noise[variable] = float(observation[variable]) - predicted
+        return noise
+
+    def counterfactual(self, observation: Mapping[str, float],
+                       intervention: Mapping[str, float]) -> dict[str, float]:
+        """Answer "what would the observation have been under ``intervention``".
+
+        Standard abduction–action–prediction: recover the noise from the
+        factual observation, apply the intervention to the exogenous
+        variables, and re-propagate with the recovered noise.
+        """
+        noise = self.abduct_noise(observation)
+        config = {name: float(observation[name]) for name in self._exogenous
+                  if name in observation}
+        config.update({k: float(v) for k, v in intervention.items()})
+        return self.intervene(config, noise=noise)
+
+    # ------------------------------------------------------------- utilities
+    def interventional_expectation(self, target: str,
+                                   intervention: Mapping[str, float],
+                                   rng: np.random.Generator,
+                                   n_samples: int = 64) -> float:
+        """Monte-Carlo estimate of ``E[target | do(intervention)]``."""
+        total = 0.0
+        for _ in range(n_samples):
+            total += self.intervene(intervention, rng=rng)[target]
+        return total / n_samples
+
+    def __repr__(self) -> str:
+        return (f"StructuralCausalModel(exogenous={len(self._exogenous)}, "
+                f"endogenous={len(self._mechanisms)})")

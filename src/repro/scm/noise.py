@@ -1,0 +1,62 @@
+"""Exogenous noise models for structural equations.
+
+Each structural equation ``X = f(parents(X), E)`` has an exogenous noise term
+``E``.  The ground-truth system models use Gaussian noise for continuous
+events/objectives and no noise for deterministic derived quantities; the
+counterfactual machinery (abduction) recovers the realised noise value of a
+particular observed sample and replays it under an intervention.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+
+class NoiseModel(Protocol):
+    """Protocol for exogenous noise generators."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one realisation of the noise term."""
+        ...  # pragma: no cover
+
+
+class GaussianNoise:
+    """Zero-mean Gaussian noise with a fixed standard deviation."""
+
+    def __init__(self, scale: float) -> None:
+        if scale < 0:
+            raise ValueError("noise scale must be non-negative")
+        self.scale = float(scale)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.normal(0.0, self.scale))
+
+    def __repr__(self) -> str:
+        return f"GaussianNoise(scale={self.scale})"
+
+
+class UniformNoise:
+    """Uniform noise on ``[-half_width, +half_width]``."""
+
+    def __init__(self, half_width: float) -> None:
+        if half_width < 0:
+            raise ValueError("half_width must be non-negative")
+        self.half_width = float(half_width)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(-self.half_width, self.half_width))
+
+    def __repr__(self) -> str:
+        return f"UniformNoise(half_width={self.half_width})"
+
+
+class NoNoise:
+    """Deterministic structural equation (no exogenous variation)."""
+
+    def sample(self, rng: np.random.Generator) -> float:  # noqa: ARG002
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "NoNoise()"

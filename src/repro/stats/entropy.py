@@ -1,0 +1,97 @@
+"""Entropy and mutual-information estimators.
+
+The entropic causal discovery step (Kocaoglu et al.) needs Shannon entropies
+of discrete (or discretized) variables: marginal, joint and conditional
+entropies, the entropy of the exogenous noise in a candidate functional model
+``Y = f(X, E)``, and the mutual information used as a discrete CI statistic.
+All estimators are plug-in (maximum likelihood) estimators over empirical
+frequency tables, computed in bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _frequencies(values: np.ndarray) -> np.ndarray:
+    """Empirical probabilities of the distinct values of a 1-D array."""
+    _, counts = np.unique(values, return_counts=True)
+    return counts / counts.sum()
+
+
+def discrete_entropy(values: np.ndarray) -> float:
+    """Shannon entropy (bits) of an empirically observed discrete variable."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0.0
+    probs = _frequencies(values)
+    return float(-np.sum(probs * np.log2(probs)))
+
+
+def entropy_of_distribution(probs: np.ndarray) -> float:
+    """Shannon entropy (bits) of an explicit probability vector."""
+    probs = np.asarray(probs, dtype=float)
+    probs = probs[probs > 0]
+    if probs.size == 0:
+        return 0.0
+    return float(-np.sum(probs * np.log2(probs)))
+
+
+def _joint_codes(*columns: np.ndarray) -> np.ndarray:
+    """Encode the joint outcome of several discrete columns as one integer."""
+    if not columns:
+        raise ValueError("at least one column required")
+    codes = np.zeros(len(columns[0]), dtype=np.int64)
+    for col in columns:
+        _, inverse = np.unique(col, return_inverse=True)
+        codes = codes * (inverse.max() + 1) + inverse
+    return codes
+
+
+def joint_entropy(*columns: np.ndarray) -> float:
+    """Entropy (bits) of the joint distribution of several discrete columns."""
+    return discrete_entropy(_joint_codes(*columns))
+
+
+def conditional_entropy(target: np.ndarray, *given: np.ndarray) -> float:
+    """H(target | given...) in bits."""
+    if not given:
+        return discrete_entropy(target)
+    return joint_entropy(target, *given) - joint_entropy(*given)
+
+
+def mutual_information(x: np.ndarray, y: np.ndarray,
+                       conditioning: np.ndarray | None = None) -> float:
+    """(Conditional) mutual information I(x; y | conditioning) in bits.
+
+    ``conditioning`` may be ``None``, a 1-D array, or a 2-D array whose
+    columns are the conditioning variables.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if conditioning is None or conditioning.size == 0:
+        return (discrete_entropy(x) + discrete_entropy(y)
+                - joint_entropy(x, y))
+    conditioning = np.asarray(conditioning)
+    if conditioning.ndim == 1:
+        cond_cols = [conditioning]
+    else:
+        cond_cols = [conditioning[:, i] for i in range(conditioning.shape[1])]
+    h_xz = joint_entropy(x, *cond_cols)
+    h_yz = joint_entropy(y, *cond_cols)
+    h_xyz = joint_entropy(x, y, *cond_cols)
+    h_z = joint_entropy(*cond_cols)
+    return h_xz + h_yz - h_xyz - h_z
+
+
+def exogenous_noise_entropy(cause: np.ndarray, effect: np.ndarray) -> float:
+    """Entropy of the exogenous noise for the model ``effect = f(cause, E)``.
+
+    Following the entropic-causality construction, for each value of the
+    cause the conditional distribution of the effect must be produced by the
+    exogenous variable ``E``; a simple and standard lower-bound proxy for
+    ``H(E)`` is the conditional entropy ``H(effect | cause)``, which is what
+    Unicorn's orientation heuristic compares across the two candidate
+    directions (the direction with the lower noise entropy is preferred).
+    """
+    return conditional_entropy(np.asarray(effect), np.asarray(cause))

@@ -1,0 +1,57 @@
+"""Configurable-system simulator substrate.
+
+The paper measured six real systems (Deepstream, Xception, BERT, Deepspeech,
+x264, SQLite) on NVIDIA Jetson hardware (TX1, TX2, Xavier) with ``perf`` event
+tracing.  That hardware is not available offline, so this package provides a
+faithful *simulated* substrate: every subject system is a ground-truth
+structural causal model over its real configuration options (taken from the
+paper's appendix tables), intermediate system events, and performance
+objectives.  Hardware platforms and workloads parameterise the mechanisms, so
+environment changes are genuine distribution shifts, and the ground-truth
+graph is known — which the evaluation metrics (accuracy, Hamming distance)
+require.
+
+The public surface is:
+
+* :class:`~repro.systems.options.ConfigurationSpace` and the option types,
+* :class:`~repro.systems.base.ConfigurableSystem` (measure configurations,
+  enumerate/ sample the space, expose ground truth),
+* :class:`~repro.systems.base.Environment` (hardware x workload),
+* :func:`~repro.systems.registry.get_system` to instantiate any of the six
+  subject systems plus the didactic cache example and the TX1→TX2 case study,
+* :mod:`~repro.systems.faults` to build the Jetson-Faults-style catalogue.
+"""
+
+from repro.systems.options import (
+    BinaryOption,
+    CategoricalOption,
+    ConfigurationSpace,
+    NumericOption,
+    Option,
+)
+from repro.systems.base import ConfigurableSystem, Environment, Measurement
+from repro.systems.hardware import JETSON_TX1, JETSON_TX2, JETSON_XAVIER, Hardware
+from repro.systems.workloads import Workload
+from repro.systems.faults import Fault, FaultCatalogue, discover_faults
+from repro.systems.registry import get_system, list_systems
+
+__all__ = [
+    "Option",
+    "BinaryOption",
+    "CategoricalOption",
+    "NumericOption",
+    "ConfigurationSpace",
+    "ConfigurableSystem",
+    "Environment",
+    "Measurement",
+    "Hardware",
+    "Workload",
+    "JETSON_TX1",
+    "JETSON_TX2",
+    "JETSON_XAVIER",
+    "Fault",
+    "FaultCatalogue",
+    "discover_faults",
+    "get_system",
+    "list_systems",
+]

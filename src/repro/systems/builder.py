@@ -1,0 +1,244 @@
+"""Ground-truth SCM builder for the simulated subject systems.
+
+Each subject system describes *what* it is (its options, events and
+objectives, plus which options are known to drive which events); the builder
+turns that description into a ground-truth :class:`StructuralCausalModel`
+whose
+
+* **structure** depends only on the system's seed — so the causal graph is
+  identical across hardware platforms and workloads (causal mechanisms are
+  invariant, the core assumption behind transferability, Section 3), while
+* **coefficients** are scaled and perturbed per environment — hardware
+  multipliers (compute/memory/power/thermal), workload scaling, and a
+  platform-seeded perturbation of secondary coefficients.  This is what makes
+  non-causal regression terms unstable across environments (Fig. 4a, Fig. 5)
+  without changing the underlying causal relations.
+
+The generated models follow the layered shape of real causal performance
+models (Fig. 6): configuration options feed intermediate system events, and
+events (plus a few direct option effects) feed the end-to-end objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.scm.mechanisms import ClippedMechanism, InteractionMechanism
+from repro.scm.model import StructuralCausalModel
+from repro.scm.noise import GaussianNoise
+from repro.systems.base import Environment
+from repro.systems.options import Option
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """Description of one performance objective of a subject system."""
+
+    name: str
+    direction: str          # "minimize" or "maximize"
+    kind: str               # "latency", "energy", "heat" or "throughput"
+    base: float = 30.0      # baseline magnitude in natural units
+
+
+@dataclass
+class SystemSpec:
+    """Everything the builder needs to synthesise a ground-truth SCM."""
+
+    name: str
+    options: Sequence[Option]
+    events: Sequence[str]
+    objectives: Sequence[ObjectiveSpec]
+    seed: int
+    #: events that *must* include these options among their parents — used to
+    #: anchor the domain stories told in the paper (e.g. cache pressure and
+    #: drop-caches drive cache misses).
+    key_drivers: Mapping[str, Sequence[str]] = field(default_factory=dict)
+    #: options with a direct edge to every objective (e.g. CPU frequency).
+    direct_options: Sequence[str] = ()
+    noise_level: float = 0.04
+    parents_per_event: tuple[int, int] = (2, 4)
+    events_per_objective: tuple[int, int] = (3, 6)
+
+
+def _option_span(option: Option) -> tuple[float, float]:
+    lo, hi = min(option.values), max(option.values)
+    return lo, max(hi - lo, 1e-9)
+
+
+def _hardware_sensitivity(option: Option, environment: Environment) -> float:
+    """How strongly an option's coefficient scales with the platform."""
+    hw = environment.hardware
+    if option.layer == "hardware":
+        return hw.compute_scale
+    if option.layer == "kernel":
+        return 0.5 * (hw.memory_scale + 1.0)
+    return 1.0
+
+
+def _objective_env_scale(kind: str, environment: Environment) -> float:
+    hw = environment.hardware
+    wl = environment.workload
+    if kind == "latency":
+        return wl.work_scale / hw.compute_scale
+    if kind == "energy":
+        return wl.work_scale * hw.power_scale
+    if kind == "heat":
+        return hw.thermal_scale
+    if kind == "throughput":
+        return hw.compute_scale / max(wl.work_scale, 1e-9)
+    raise ValueError(f"unknown objective kind {kind!r}")
+
+
+class GroundTruthBuilder:
+    """Build ground-truth SCMs from a :class:`SystemSpec`."""
+
+    def __init__(self, spec: SystemSpec) -> None:
+        self._spec = spec
+        self._structure = self._draw_structure()
+
+    # ------------------------------------------------------------- structure
+    def _draw_structure(self) -> dict:
+        """Draw the environment-invariant structure and base coefficients."""
+        spec = self._spec
+        rng = np.random.default_rng(spec.seed)
+        options = {o.name: o for o in spec.options}
+        option_names = list(options)
+
+        event_parents: dict[str, dict[str, float]] = {}
+        event_event_parents: dict[str, dict[str, float]] = {}
+        event_interactions: dict[str, dict[tuple[str, ...], float]] = {}
+        event_base: dict[str, float] = {}
+
+        for i, event in enumerate(spec.events):
+            lo_n, hi_n = spec.parents_per_event
+            n_parents = int(rng.integers(lo_n, hi_n + 1))
+            forced = [o for o in spec.key_drivers.get(event, ())
+                      if o in options]
+            pool = [o for o in option_names if o not in forced]
+            extra = min(max(n_parents - len(forced), 0), len(pool))
+            chosen = forced + list(rng.choice(pool, size=extra,
+                                              replace=False))
+            base = float(rng.uniform(80, 400))
+            coefficients: dict[str, float] = {}
+            for name in chosen:
+                lo, span = _option_span(options[name])
+                sign = 1.0 if rng.random() < 0.5 else -1.0
+                weight = float(rng.uniform(0.15, 0.6)) * base
+                coefficients[name] = sign * weight / span
+            interactions: dict[tuple[str, ...], float] = {}
+            if len(chosen) >= 2 and rng.random() < 0.6:
+                a, b = rng.choice(chosen, size=2, replace=False)
+                span_a = _option_span(options[a])[1]
+                span_b = _option_span(options[b])[1]
+                sign = 1.0 if rng.random() < 0.5 else -1.0
+                interactions[(a, b)] = sign * float(
+                    rng.uniform(0.1, 0.4)) * base / (span_a * span_b)
+            upstream: dict[str, float] = {}
+            if i >= 1 and rng.random() < 0.35:
+                parent_event = spec.events[int(rng.integers(0, i))]
+                upstream[parent_event] = float(rng.uniform(0.1, 0.4))
+            event_parents[event] = coefficients
+            event_event_parents[event] = upstream
+            event_interactions[event] = interactions
+            event_base[event] = base
+
+        objective_parents: dict[str, dict[str, float]] = {}
+        objective_option_parents: dict[str, dict[str, float]] = {}
+        for objective in spec.objectives:
+            lo_n, hi_n = spec.events_per_objective
+            n_events = min(int(rng.integers(lo_n, hi_n + 1)),
+                           len(spec.events))
+            n_events = max(min(n_events, len(spec.events)), 1)
+            chosen_events = list(rng.choice(list(spec.events), size=n_events,
+                                            replace=False))
+            event_coeffs = {}
+            for event in chosen_events:
+                sign = 1.0 if objective.kind != "throughput" else -1.0
+                if rng.random() < 0.2:
+                    sign = -sign
+                event_coeffs[event] = sign * float(rng.uniform(0.15, 0.5))
+            option_coeffs = {}
+            for name in spec.direct_options:
+                if name not in options:
+                    continue
+                lo, span = _option_span(options[name])
+                sign = -1.0 if objective.kind in ("latency", "energy") else 1.0
+                option_coeffs[name] = sign * float(
+                    rng.uniform(0.1, 0.3)) * objective.base / span
+            objective_parents[objective.name] = event_coeffs
+            objective_option_parents[objective.name] = option_coeffs
+
+        return {
+            "options": options,
+            "event_parents": event_parents,
+            "event_event_parents": event_event_parents,
+            "event_interactions": event_interactions,
+            "event_base": event_base,
+            "objective_parents": objective_parents,
+            "objective_option_parents": objective_option_parents,
+        }
+
+    # ------------------------------------------------------------------ build
+    def build(self, environment: Environment) -> StructuralCausalModel:
+        """Instantiate the SCM for one environment."""
+        spec = self._spec
+        structure = self._structure
+        options: dict[str, Option] = structure["options"]
+        env_rng = np.random.default_rng(
+            spec.seed * 1_000 + environment.hardware.shift_seed)
+
+        def perturb(value: float, strength: float = 0.3) -> float:
+            return value * float(1.0 + strength * env_rng.normal())
+
+        mechanisms = {}
+        noise = {}
+        exogenous = {name: option.values for name, option in options.items()}
+
+        for event in spec.events:
+            base = structure["event_base"][event] * environment.workload.intensity
+            linear: dict[str, float] = {}
+            for name, coefficient in structure["event_parents"][event].items():
+                scaled = coefficient * _hardware_sensitivity(
+                    options[name], environment)
+                linear[name] = perturb(scaled)
+            for parent_event, coefficient in structure[
+                    "event_event_parents"][event].items():
+                linear[parent_event] = perturb(coefficient, 0.2)
+            interactions = {
+                pair: perturb(coefficient, 0.2) * environment.workload.intensity
+                for pair, coefficient in structure["event_interactions"][event].items()
+            }
+            inner = InteractionMechanism(linear=linear,
+                                         interactions=interactions,
+                                         intercept=base)
+            mechanisms[event] = ClippedMechanism(inner, lower=0.0)
+            noise[event] = GaussianNoise(spec.noise_level * base)
+
+        for objective in spec.objectives:
+            env_scale = _objective_env_scale(objective.kind, environment)
+            base = objective.base * env_scale
+            linear = {}
+            for event, coefficient in structure[
+                    "objective_parents"][objective.name].items():
+                event_scale = structure["event_base"][event]
+                linear[event] = perturb(coefficient, 0.2) * base / max(
+                    event_scale, 1e-9)
+            for name, coefficient in structure[
+                    "objective_option_parents"][objective.name].items():
+                sensitivity = _hardware_sensitivity(options[name], environment)
+                linear[name] = perturb(coefficient * sensitivity) * env_scale
+            inner = InteractionMechanism(linear=linear, interactions={},
+                                         intercept=base)
+            mechanisms[objective.name] = ClippedMechanism(inner,
+                                                          lower=0.05 * base)
+            noise[objective.name] = GaussianNoise(spec.noise_level * base)
+
+        return StructuralCausalModel(exogenous=exogenous,
+                                     mechanisms=mechanisms, noise=noise)
+
+    def factory(self):
+        """A ``scm_factory`` callable for :class:`ConfigurableSystem`."""
+        return self.build

@@ -1,0 +1,68 @@
+"""The cache-policy confounder example of Fig. 1.
+
+The resource manager changes the ``CachePolicy`` during measurement;
+``CachePolicy`` raises both ``CacheMisses`` and ``Throughput`` so that, in the
+pooled observational data, cache misses and throughput are *positively*
+correlated even though, within each policy, more cache misses always lower
+throughput.  A correlational model learns the wrong sign; the causal model
+recovers ``CachePolicy`` as the common cause.
+
+The example is used by the Fig. 1 benchmark and by the quickstart example.
+"""
+
+from __future__ import annotations
+
+from repro.scm.mechanisms import ClippedMechanism, LinearMechanism
+from repro.scm.model import StructuralCausalModel
+from repro.scm.noise import GaussianNoise
+from repro.systems.base import ConfigurableSystem, Environment
+from repro.systems.hardware import JETSON_TX2, Hardware
+from repro.systems.options import CategoricalOption, ConfigurationSpace, NumericOption
+from repro.systems.workloads import Workload
+
+#: Cache replacement policies in increasing order of aggressiveness.
+CACHE_POLICIES = ("LRU", "FIFO", "LIFO", "MRU")
+
+OBJECTIVES = {"Throughput": "maximize"}
+
+
+def build_cache_scm(environment: Environment) -> StructuralCausalModel:
+    """Ground truth: CachePolicy -> CacheMisses -> Throughput <- CachePolicy."""
+    compute = environment.hardware.compute_scale
+    # Moving from LRU (0) towards MRU (3) both increases cache misses and,
+    # through better prefetch overlap in this synthetic story, increases the
+    # achievable throughput — the classic confounding pattern of Fig. 1.
+    cache_misses = ClippedMechanism(
+        LinearMechanism({"CachePolicy": 45_000.0, "WorkingSetSize": 150.0},
+                        intercept=40_000.0),
+        lower=0.0)
+    throughput = ClippedMechanism(
+        LinearMechanism({"CachePolicy": 7.0, "CacheMisses": -9.0e-5},
+                        intercept=18.0 * compute),
+        lower=0.1)
+    return StructuralCausalModel(
+        exogenous={
+            "CachePolicy": (0.0, 1.0, 2.0, 3.0),
+            "WorkingSetSize": (16.0, 32.0, 64.0, 128.0),
+        },
+        mechanisms={"CacheMisses": cache_misses, "Throughput": throughput},
+        noise={
+            "CacheMisses": GaussianNoise(4_000.0),
+            "Throughput": GaussianNoise(0.6),
+        })
+
+
+def make_cache_example(hardware: Hardware = JETSON_TX2) -> ConfigurableSystem:
+    """Instantiate the two-option cache example as a configurable system."""
+    space = ConfigurationSpace([
+        CategoricalOption("CachePolicy", CACHE_POLICIES, layer="kernel"),
+        NumericOption("WorkingSetSize", (16, 32, 64, 128), layer="software",
+                      default=32),
+    ])
+    environment = Environment(
+        hardware=hardware,
+        workload=Workload(name="cache-trace", size=1.0, work_scale=1.0))
+    return ConfigurableSystem(
+        name="cache_example", space=space, events=["CacheMisses"],
+        objectives=OBJECTIVES, scm_factory=build_cache_scm,
+        environment=environment, measurement_cost_seconds=5.0, seed=7)

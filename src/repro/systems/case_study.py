@@ -1,0 +1,170 @@
+"""The real-world TX1 → TX2 case study (Section 5, Fig. 12, Fig. 23).
+
+A developer migrated a real-time scene-detection workload from TX1 to the
+faster TX2 and observed *4x worse* latency (17 FPS → 4 FPS).  The diagnosed
+root cause was a misconfiguration of ``CUDA_STATIC`` (a compiler/runtime
+option) together with the four hardware options; the NVIDIA forum fix and the
+paper's Fig. 23 causal graph identify ``CUDA_STATIC`` acting through context
+switches, and the hardware frequencies acting through cycles/cache behaviour.
+
+``build_case_study_scm`` hand-crafts that exact causal structure so the case
+study benchmark can check that Unicorn recovers the documented root causes
+and achieves the documented gains (the faulty configuration yields roughly 4
+FPS on TX2; the forum fix roughly 23 FPS; a well-chosen configuration close
+to 28 FPS).
+"""
+
+from __future__ import annotations
+
+from repro.scm.mechanisms import ClippedMechanism, InteractionMechanism, LinearMechanism
+from repro.scm.model import StructuralCausalModel
+from repro.scm.noise import GaussianNoise
+from repro.systems.base import ConfigurableSystem, Environment
+from repro.systems.hardware import JETSON_TX2, Hardware
+from repro.systems.options import BinaryOption, ConfigurationSpace, NumericOption
+from repro.systems.workloads import Workload
+
+OBJECTIVES = {"FPS": "maximize", "Energy": "minimize"}
+
+#: The misconfiguration reported in the forum thread: CUDA built statically,
+#: low frequencies, two cores, aggressive swapping.
+FAULTY_CONFIGURATION = {
+    "CPUCores": 2.0,
+    "CPUFrequency": 0.3,
+    "EMCFrequency": 0.1,
+    "GPUFrequency": 0.1,
+    "CUDA_STATIC": 1.0,
+    "vm.swappiness": 60.0,
+    "vm.vfs_cache_pressure": 100.0,
+    "SchedulerPolicy": 0.0,
+    "DropCaches": 0.0,
+    "kernel.sched_rt_runtime_us": 950000.0,
+}
+
+#: The fix recommended on the NVIDIA forum (Fig. 12, "Forum" column).
+FORUM_FIX = {
+    "CPUCores": 4.0,
+    "CPUFrequency": 2.0,
+    "EMCFrequency": 1.8,
+    "GPUFrequency": 1.3,
+    "CUDA_STATIC": 0.0,
+}
+
+#: Ground-truth root causes of the fault (the options the forum fix changes).
+TRUE_ROOT_CAUSES = ("CUDA_STATIC", "GPUFrequency", "EMCFrequency",
+                    "CPUFrequency", "CPUCores")
+
+
+def build_case_study_scm(environment: Environment) -> StructuralCausalModel:
+    """Hand-crafted SCM matching the Fig. 23 causal graph."""
+    compute = environment.hardware.compute_scale
+    power = environment.hardware.power_scale
+
+    context_switches = ClippedMechanism(
+        InteractionMechanism(
+            linear={"CUDA_STATIC": 2200.0, "CPUCores": -400.0,
+                    "kernel.sched_rt_runtime_us": 0.002},
+            interactions={("CUDA_STATIC", "CPUCores"): 160.0},
+            intercept=-200.0),
+        lower=0.0)
+    migrations = ClippedMechanism(
+        LinearMechanism({"CPUCores": 90.0, "SchedulerPolicy": 120.0},
+                        intercept=200.0),
+        lower=0.0)
+    cache_references = ClippedMechanism(
+        LinearMechanism({"EMCFrequency": 30_000.0, "DropCaches": -4_000.0},
+                        intercept=80_000.0),
+        lower=0.0)
+    cache_misses = ClippedMechanism(
+        InteractionMechanism(
+            linear={"vm.vfs_cache_pressure": 70.0, "vm.swappiness": 180.0,
+                    "EMCFrequency": -9_000.0, "CacheReferences": 0.12},
+            interactions={},
+            intercept=25_000.0),
+        lower=0.0)
+    fps = ClippedMechanism(
+        InteractionMechanism(
+            linear={
+                "CPUFrequency": 5.5 * compute,
+                "GPUFrequency": 9.0 * compute,
+                "CPUCores": 2.0,
+                "ContextSwitches": -0.006,
+                "CacheMisses": -0.0002,
+                "Migrations": -0.01,
+            },
+            interactions={("CPUFrequency", "GPUFrequency"): 1.5 * compute},
+            intercept=4.0),
+        lower=0.5)
+    energy = ClippedMechanism(
+        InteractionMechanism(
+            linear={
+                "CPUFrequency": 14.0 * power,
+                "GPUFrequency": 22.0 * power,
+                "CPUCores": 6.0 * power,
+                "ContextSwitches": 0.006,
+                "CacheMisses": 0.0003,
+            },
+            interactions={},
+            intercept=40.0 * power),
+        lower=1.0)
+
+    return StructuralCausalModel(
+        exogenous={
+            "CPUCores": (1.0, 2.0, 3.0, 4.0),
+            "CPUFrequency": (0.3, 0.8, 1.2, 1.6, 2.0),
+            "EMCFrequency": (0.1, 0.6, 1.2, 1.8),
+            "GPUFrequency": (0.1, 0.5, 0.9, 1.3),
+            "CUDA_STATIC": (0.0, 1.0),
+            "vm.swappiness": (10.0, 60.0, 90.0),
+            "vm.vfs_cache_pressure": (1.0, 100.0, 500.0),
+            "SchedulerPolicy": (0.0, 1.0),
+            "DropCaches": (0.0, 1.0, 2.0, 3.0),
+            "kernel.sched_rt_runtime_us": (500000.0, 950000.0),
+        },
+        mechanisms={
+            "ContextSwitches": context_switches,
+            "Migrations": migrations,
+            "CacheReferences": cache_references,
+            "CacheMisses": cache_misses,
+            "FPS": fps,
+            "Energy": energy,
+        },
+        noise={
+            "ContextSwitches": GaussianNoise(250.0),
+            "Migrations": GaussianNoise(15.0),
+            "CacheReferences": GaussianNoise(2_000.0),
+            "CacheMisses": GaussianNoise(1_200.0),
+            "FPS": GaussianNoise(0.4),
+            "Energy": GaussianNoise(2.0),
+        })
+
+
+def make_case_study(hardware: Hardware = JETSON_TX2) -> ConfigurableSystem:
+    """Instantiate the scene-detection case-study system."""
+    space = ConfigurationSpace([
+        NumericOption("CPUCores", (1, 2, 3, 4), layer="hardware", default=4),
+        NumericOption("CPUFrequency", (0.3, 0.8, 1.2, 1.6, 2.0),
+                      layer="hardware", default=2.0),
+        NumericOption("EMCFrequency", (0.1, 0.6, 1.2, 1.8), layer="hardware",
+                      default=1.8),
+        NumericOption("GPUFrequency", (0.1, 0.5, 0.9, 1.3), layer="hardware",
+                      default=1.3),
+        BinaryOption("CUDA_STATIC", layer="software", default=0),
+        NumericOption("vm.swappiness", (10, 60, 90), layer="kernel",
+                      default=60),
+        NumericOption("vm.vfs_cache_pressure", (1, 100, 500), layer="kernel",
+                      default=100),
+        BinaryOption("SchedulerPolicy", layer="kernel", default=0),
+        NumericOption("DropCaches", (0, 1, 2, 3), layer="kernel", default=0),
+        NumericOption("kernel.sched_rt_runtime_us", (500000, 950000),
+                      layer="kernel", default=950000),
+    ])
+    environment = Environment(
+        hardware=hardware,
+        workload=Workload(name="scene-detection", size=1.0, work_scale=1.0))
+    return ConfigurableSystem(
+        name="case_study", space=space,
+        events=["ContextSwitches", "Migrations", "CacheReferences",
+                "CacheMisses"],
+        objectives=OBJECTIVES, scm_factory=build_case_study_scm,
+        environment=environment, measurement_cost_seconds=40.0, seed=50477)

@@ -1,0 +1,81 @@
+"""Kernel and hardware configuration options shared by every subject system.
+
+These are the OS/kernel options of Table 8 and the hardware options of
+Table 9 of the paper; every subject system is deployed on the same Jetson
+software stack, so they share this part of the configuration space.
+"""
+
+from __future__ import annotations
+
+from repro.systems.options import BinaryOption, CategoricalOption, NumericOption, Option
+
+
+def kernel_options() -> list[Option]:
+    """The Linux OS/kernel options of Table 8."""
+    return [
+        NumericOption("vm.vfs_cache_pressure", (1, 100, 500), layer="kernel",
+                      default=100),
+        NumericOption("vm.swappiness", (10, 60, 90), layer="kernel", default=60),
+        NumericOption("vm.dirty_bytes", (30, 60), layer="kernel", default=30),
+        NumericOption("vm.dirty_background_ratio", (10, 80), layer="kernel",
+                      default=10),
+        NumericOption("vm.dirty_background_bytes", (30, 60), layer="kernel",
+                      default=30),
+        NumericOption("vm.dirty_ratio", (5, 50), layer="kernel", default=5),
+        NumericOption("vm.nr_hugepages", (0, 1, 2), layer="kernel", default=0),
+        NumericOption("vm.overcommit_ratio", (50, 80), layer="kernel",
+                      default=50),
+        NumericOption("vm.overcommit_memory", (0, 2), layer="kernel", default=0),
+        NumericOption("vm.overcommit_hugepages", (0, 1, 2), layer="kernel",
+                      default=0),
+        NumericOption("kernel.cpu_time_max_percent", (10, 25, 50, 75, 100),
+                      layer="kernel", default=100),
+        NumericOption("kernel.max_pids", (32768, 65536), layer="kernel",
+                      default=32768),
+        BinaryOption("kernel.numa_balancing", layer="kernel", default=0),
+        NumericOption("kernel.sched_latency_ns", (24_000_000, 48_000_000),
+                      layer="kernel", default=24_000_000),
+        NumericOption("kernel.sched_nr_migrate", (32, 64, 128), layer="kernel",
+                      default=32),
+        NumericOption("kernel.sched_rt_period_us", (1_000_000, 2_000_000),
+                      layer="kernel", default=1_000_000),
+        NumericOption("kernel.sched_rt_runtime_us", (500_000, 950_000),
+                      layer="kernel", default=950_000),
+        NumericOption("kernel.sched_time_avg_ms", (1000, 2000), layer="kernel",
+                      default=1000),
+        BinaryOption("kernel.sched_child_runs_first", layer="kernel", default=0),
+        NumericOption("SwapMemory", (1, 2, 3, 4), layer="kernel", default=2),
+        CategoricalOption("SchedulerPolicy", ("CFP", "NOOP"), layer="kernel",
+                          default="CFP"),
+        NumericOption("DropCaches", (0, 1, 2, 3), layer="kernel", default=0),
+    ]
+
+
+def hardware_options() -> list[Option]:
+    """The hardware options of Table 9 (frequencies in GHz, cores)."""
+    return [
+        NumericOption("CPUCores", (1, 2, 3, 4), layer="hardware", default=4),
+        NumericOption("CPUFrequency", (0.3, 0.8, 1.2, 1.6, 2.0),
+                      layer="hardware", default=2.0),
+        NumericOption("GPUFrequency", (0.1, 0.5, 0.9, 1.3), layer="hardware",
+                      default=1.3),
+        NumericOption("EMCFrequency", (0.1, 0.6, 1.2, 1.8), layer="hardware",
+                      default=1.8),
+    ]
+
+
+#: The kernel/hardware options most often implicated in the paper's faults.
+RELEVANT_SYSTEM_OPTIONS: tuple[str, ...] = (
+    "CPUCores",
+    "CPUFrequency",
+    "GPUFrequency",
+    "EMCFrequency",
+    "vm.swappiness",
+    "vm.vfs_cache_pressure",
+    "vm.dirty_ratio",
+    "DropCaches",
+    "SwapMemory",
+    "SchedulerPolicy",
+    "kernel.sched_rt_runtime_us",
+    "kernel.sched_child_runs_first",
+)

@@ -1,0 +1,125 @@
+"""Deepstream: the composed video-analytics pipeline (Fig. 2, Table 11).
+
+Deepstream is the paper's flagship subject: a pipeline of decoder, stream
+muxer, detector and tracker components, each with its own options, deployed
+on top of the shared kernel/hardware stack.  Objectives are end-to-end
+throughput (FPS), latency and energy.
+"""
+
+from __future__ import annotations
+
+from repro.systems.base import ConfigurableSystem, Environment
+from repro.systems.builder import GroundTruthBuilder, ObjectiveSpec, SystemSpec
+from repro.systems.common_options import (
+    RELEVANT_SYSTEM_OPTIONS,
+    hardware_options,
+    kernel_options,
+)
+from repro.systems.events import CORE_EVENTS
+from repro.systems.hardware import JETSON_XAVIER, Hardware
+from repro.systems.options import (
+    BinaryOption,
+    CategoricalOption,
+    ConfigurationSpace,
+    NumericOption,
+    Option,
+)
+from repro.systems.workloads import Workload
+
+#: Software options of the pipeline components (decoder, muxer, nvinfer,
+#: nvtracker) from Table 11, lightly condensed to the options the paper's
+#: experiments actually vary.
+def software_options() -> list[Option]:
+    return [
+        # Decoder (x264-based)
+        NumericOption("CRF", (13, 18, 24, 30), default=24),
+        NumericOption("Bitrate", (1000, 2000, 2800, 5000), default=2800),
+        NumericOption("BufferSize", (6000, 8000, 20000), default=8000),
+        CategoricalOption("Preset", ("ultrafast", "veryfast", "faster",
+                                     "medium", "slower"), default="medium"),
+        NumericOption("MaximumRate", (600, 1000), default=1000),
+        BinaryOption("Refresh", default=0),
+        # Stream muxer
+        NumericOption("BatchSize", (1, 4, 8, 16, 30), default=8),
+        NumericOption("BatchedPushTimeout", (0, 5, 10, 20), default=5),
+        NumericOption("NumSurfacesPerFrame", (1, 2, 3, 4), default=1),
+        BinaryOption("EnablePadding", default=0),
+        NumericOption("BufferPoolSize", (1, 8, 16, 26), default=8),
+        BinaryOption("SyncInputs", default=0),
+        NumericOption("NvbufMemoryType", (0, 1, 2, 3), default=0),
+        # Detector (nvinfer)
+        NumericOption("NetScaleFactor", (0.01, 0.1, 1.0, 10.0), default=1.0),
+        NumericOption("InferBatchSize", (1, 8, 16, 32, 60), default=16),
+        NumericOption("Interval", (1, 5, 10, 20), default=1),
+        BinaryOption("Offset", default=0),
+        BinaryOption("ProcessMode", default=0),
+        BinaryOption("UseDLACore", default=0),
+        BinaryOption("EnableDBSCAN", default=0),
+        NumericOption("SecondaryReinferInterval", (0, 5, 10, 20), default=0),
+        BinaryOption("MaintainAspectRatio", default=0),
+        # Tracker (nvtracker)
+        NumericOption("IOUThreshold", (0, 20, 40, 60), default=40),
+        BinaryOption("EnableBatchProcess", default=1),
+        BinaryOption("EnablePastFrame", default=0),
+        NumericOption("ComputeHW", (0, 1, 2, 3, 4), default=0),
+        # Compiler / runtime
+        BinaryOption("CUDA_STATIC", default=0),
+    ]
+
+
+#: Options whose effects dominate the paper's Deepstream analyses.
+RELEVANT_OPTIONS: tuple[str, ...] = (
+    "Bitrate", "BufferSize", "BatchSize", "EnablePadding", "Interval",
+    "InferBatchSize", "CUDA_STATIC",
+) + RELEVANT_SYSTEM_OPTIONS
+
+OBJECTIVES = {
+    "Throughput": "maximize",
+    "Latency": "minimize",
+    "Energy": "minimize",
+}
+
+
+def make_deepstream(hardware: Hardware = JETSON_XAVIER,
+                    n_streams: int = 8) -> ConfigurableSystem:
+    """Instantiate the Deepstream simulator.
+
+    ``n_streams`` is the number of camera streams in the workload (the paper
+    uses 8 streams of traffic-camera video).
+    """
+    options = software_options() + kernel_options() + hardware_options()
+    space = ConfigurationSpace(options)
+    workload = Workload(name=f"streams-{n_streams}", size=float(n_streams),
+                        work_scale=n_streams / 8.0,
+                        intensity=1.0 + 0.1 * (n_streams - 8))
+    spec = SystemSpec(
+        name="deepstream",
+        options=options,
+        events=list(CORE_EVENTS),
+        objectives=(
+            ObjectiveSpec("Throughput", "maximize", "throughput", base=25.0),
+            ObjectiveSpec("Latency", "minimize", "latency", base=80.0),
+            ObjectiveSpec("Energy", "minimize", "energy", base=120.0),
+        ),
+        seed=2022,
+        key_drivers={
+            "CacheMisses": ("BufferSize", "vm.vfs_cache_pressure",
+                            "DropCaches"),
+            "CacheReferences": ("BufferSize", "BatchSize"),
+            "ContextSwitches": ("CUDA_STATIC", "BatchSize",
+                                "kernel.sched_child_runs_first"),
+            "BranchMisses": ("Bitrate", "BufferSize"),
+            "Cycles": ("CPUFrequency", "Bitrate", "InferBatchSize"),
+            "Instructions": ("Interval", "InferBatchSize"),
+            "Migrations": ("CPUCores", "kernel.sched_nr_migrate"),
+            "MajorFaults": ("vm.swappiness", "SwapMemory"),
+        },
+        direct_options=("CPUFrequency", "GPUFrequency", "EMCFrequency",
+                        "CPUCores"),
+    )
+    builder = GroundTruthBuilder(spec)
+    environment = Environment(hardware=hardware, workload=workload)
+    return ConfigurableSystem(
+        name="deepstream", space=space, events=list(CORE_EVENTS),
+        objectives=OBJECTIVES, scm_factory=builder.factory(),
+        environment=environment, measurement_cost_seconds=75.0, seed=2022)

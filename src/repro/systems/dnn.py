@@ -1,0 +1,134 @@
+"""The three on-device deep-learning subject systems.
+
+Xception (image recognition), BERT (NLP sentiment analysis) and Deepspeech
+(speech-to-text) share the same configuration surface in the paper: two
+TensorFlow runtime options (Table 5) plus the 22 kernel and 4 hardware
+options, for 28 options total, with three objectives each (inference latency,
+energy and heat — the appendix's Table 14 adds heat faults).  They differ in
+their workloads, in which events dominate, and in the magnitude of their
+objectives; each therefore gets its own spec seed and objective bases.
+"""
+
+from __future__ import annotations
+
+from repro.systems.base import ConfigurableSystem, Environment
+from repro.systems.builder import GroundTruthBuilder, ObjectiveSpec, SystemSpec
+from repro.systems.common_options import (
+    RELEVANT_SYSTEM_OPTIONS,
+    hardware_options,
+    kernel_options,
+)
+from repro.systems.events import CORE_EVENTS
+from repro.systems.hardware import JETSON_TX2, Hardware
+from repro.systems.options import ConfigurationSpace, NumericOption, Option
+from repro.systems.workloads import Workload
+
+OBJECTIVES = {
+    "InferenceTime": "minimize",
+    "Energy": "minimize",
+    "Heat": "minimize",
+}
+
+#: Options the debugging experiments for the DNN systems concentrate on.
+RELEVANT_OPTIONS: tuple[str, ...] = (
+    "MemoryGrowth", "LogicalDevices") + RELEVANT_SYSTEM_OPTIONS
+
+
+def software_options() -> list[Option]:
+    """TensorFlow runtime options of Table 5."""
+    return [
+        NumericOption("MemoryGrowth", (-1, 0.5, 0.9), default=-1),
+        NumericOption("LogicalDevices", (0, 1), default=0),
+    ]
+
+
+def _make_dnn(name: str, seed: int, latency_base: float, energy_base: float,
+              heat_base: float, workload_name: str, workload_size: float,
+              hardware: Hardware, key_drivers: dict) -> ConfigurableSystem:
+    options = software_options() + kernel_options() + hardware_options()
+    space = ConfigurationSpace(options)
+    workload = Workload(name=f"{workload_name}-{workload_size:g}",
+                        size=workload_size, work_scale=1.0)
+    spec = SystemSpec(
+        name=name,
+        options=options,
+        events=list(CORE_EVENTS),
+        objectives=(
+            ObjectiveSpec("InferenceTime", "minimize", "latency",
+                          base=latency_base),
+            ObjectiveSpec("Energy", "minimize", "energy", base=energy_base),
+            ObjectiveSpec("Heat", "minimize", "heat", base=heat_base),
+        ),
+        seed=seed,
+        key_drivers=key_drivers,
+        direct_options=("CPUFrequency", "GPUFrequency", "CPUCores",
+                        "EMCFrequency"),
+    )
+    builder = GroundTruthBuilder(spec)
+    environment = Environment(hardware=hardware, workload=workload)
+    return ConfigurableSystem(
+        name=name, space=space, events=list(CORE_EVENTS),
+        objectives=OBJECTIVES, scm_factory=builder.factory(),
+        environment=environment, measurement_cost_seconds=45.0, seed=seed)
+
+
+def make_xception(hardware: Hardware = JETSON_TX2,
+                  n_test_images: int = 5000) -> ConfigurableSystem:
+    """Xception image recognition on CIFAR-10 test images.
+
+    ``n_test_images`` reproduces the workload-transfer scenarios (5k, 10k,
+    20k, 50k images — Fig. 17).
+    """
+    system = _make_dnn(
+        name="xception", seed=1017, latency_base=35.0, energy_base=160.0,
+        heat_base=55.0, workload_name="images", workload_size=5000.0,
+        hardware=hardware,
+        key_drivers={
+            "CacheMisses": ("MemoryGrowth", "vm.vfs_cache_pressure"),
+            "Cycles": ("CPUFrequency", "GPUFrequency"),
+            "MajorFaults": ("vm.swappiness", "SwapMemory"),
+            "ContextSwitches": ("LogicalDevices", "CPUCores"),
+            "Migrations": ("CPUCores", "kernel.sched_nr_migrate"),
+        })
+    if n_test_images != 5000:
+        workload = system.environment.workload.scaled(float(n_test_images))
+        system = system.with_workload(workload)
+    return system
+
+
+def make_bert(hardware: Hardware = JETSON_TX2,
+              n_reviews: int = 1000) -> ConfigurableSystem:
+    """BERT sentiment analysis on IMDb reviews."""
+    system = _make_dnn(
+        name="bert", seed=1810, latency_base=48.0, energy_base=190.0,
+        heat_base=60.0, workload_name="reviews", workload_size=1000.0,
+        hardware=hardware,
+        key_drivers={
+            "CacheMisses": ("MemoryGrowth", "DropCaches"),
+            "Cycles": ("CPUFrequency", "CPUCores"),
+            "BranchMisses": ("LogicalDevices", "CPUFrequency"),
+            "MajorFaults": ("vm.swappiness", "SwapMemory"),
+        })
+    if n_reviews != 1000:
+        system = system.with_workload(
+            system.environment.workload.scaled(float(n_reviews)))
+    return system
+
+
+def make_deepspeech(hardware: Hardware = JETSON_TX2,
+                    audio_hours: float = 0.5) -> ConfigurableSystem:
+    """Deepspeech speech-to-text on the Common Voice corpus."""
+    system = _make_dnn(
+        name="deepspeech", seed=1412, latency_base=42.0, energy_base=175.0,
+        heat_base=57.0, workload_name="audio-hours", workload_size=0.5,
+        hardware=hardware,
+        key_drivers={
+            "CacheMisses": ("MemoryGrowth", "vm.vfs_cache_pressure"),
+            "Cycles": ("CPUFrequency", "GPUFrequency"),
+            "SchedulerWaitTime": ("CPUCores", "kernel.sched_latency_ns"),
+            "MajorFaults": ("vm.swappiness", "SwapMemory"),
+        })
+    if audio_hours != 0.5:
+        system = system.with_workload(
+            system.environment.workload.scaled(float(audio_hours)))
+    return system

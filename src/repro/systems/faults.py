@@ -1,0 +1,142 @@
+"""Non-functional fault discovery (the Jetson-Faults catalogue, Fig. 13).
+
+Non-functional faults live in the tail of the performance distribution: the
+paper labels every configuration whose objective is worse than the 99th
+percentile of the ground-truth measurement campaign as *faulty*, and records
+single-objective faults (latency only, energy only, heat only) as well as
+multi-objective faults (several objectives simultaneously in the tail).
+
+``discover_faults`` reproduces that protocol on the simulator: it samples a
+ground-truth campaign for a system, computes the per-objective percentile
+thresholds and returns a :class:`FaultCatalogue` of faulty configurations for
+the debugging experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.systems.base import ConfigurableSystem, Measurement
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One non-functional fault: a configuration in the performance tail."""
+
+    system: str
+    environment: str
+    configuration: tuple[tuple[str, float], ...]
+    objectives: tuple[str, ...]
+    measured: tuple[tuple[str, float], ...]
+
+    def configuration_dict(self) -> dict[str, float]:
+        return dict(self.configuration)
+
+    def measured_dict(self) -> dict[str, float]:
+        return dict(self.measured)
+
+    @property
+    def is_multi_objective(self) -> bool:
+        return len(self.objectives) > 1
+
+
+@dataclass
+class FaultCatalogue:
+    """All faults discovered for one system in one environment."""
+
+    system: str
+    environment: str
+    thresholds: dict[str, float]
+    faults: list[Fault] = field(default_factory=list)
+
+    def single_objective(self, objective: str | None = None) -> list[Fault]:
+        out = [f for f in self.faults if not f.is_multi_objective]
+        if objective is not None:
+            out = [f for f in out if f.objectives == (objective,)]
+        return out
+
+    def multi_objective(self,
+                        objectives: Sequence[str] | None = None) -> list[Fault]:
+        out = [f for f in self.faults if f.is_multi_objective]
+        if objectives is not None:
+            wanted = tuple(sorted(objectives))
+            out = [f for f in out if tuple(sorted(f.objectives)) == wanted]
+        return out
+
+    def counts(self) -> dict[str, int]:
+        """Fault counts per objective combination (the Fig. 13 bars)."""
+        out: dict[str, int] = {}
+        for fault in self.faults:
+            key = "+".join(sorted(fault.objectives))
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+
+def _tail_thresholds(measurements: Sequence[Measurement],
+                     objectives: Mapping[str, str],
+                     percentile: float) -> dict[str, float]:
+    thresholds: dict[str, float] = {}
+    for objective, direction in objectives.items():
+        values = np.array([m.objectives[objective] for m in measurements])
+        if direction == "minimize":
+            thresholds[objective] = float(np.percentile(values, percentile))
+        else:
+            thresholds[objective] = float(np.percentile(values,
+                                                        100.0 - percentile))
+    return thresholds
+
+
+def _is_faulty(measurement: Measurement, objective: str, direction: str,
+               threshold: float) -> bool:
+    value = measurement.objectives[objective]
+    if direction == "minimize":
+        return value > threshold
+    return value < threshold
+
+
+def discover_faults(system: ConfigurableSystem, n_samples: int = 800,
+                    percentile: float = 99.0,
+                    objectives: Sequence[str] | None = None,
+                    seed: int = 1) -> FaultCatalogue:
+    """Sample a ground-truth campaign and label tail configurations as faults.
+
+    Parameters
+    ----------
+    system:
+        The configurable system (in its current environment).
+    n_samples:
+        Size of the ground-truth campaign (the paper measures thousands of
+        configurations per system; hundreds suffice for a stable tail here).
+    percentile:
+        Tail threshold (99th percentile in the paper).
+    objectives:
+        Objectives to consider; defaults to all of the system's objectives.
+    """
+    rng = np.random.default_rng(seed)
+    objective_names = list(objectives or system.objective_names)
+    directions = {o: system.objectives[o] for o in objective_names}
+    configs = system.space.sample_configurations(n_samples, rng)
+    measurements = system.measure_many(configs, n_repeats=3, rng=rng)
+    thresholds = _tail_thresholds(measurements, directions, percentile)
+
+    catalogue = FaultCatalogue(system=system.name,
+                               environment=system.environment.name,
+                               thresholds=thresholds)
+    for measurement in measurements:
+        violated = tuple(sorted(
+            o for o in objective_names
+            if _is_faulty(measurement, o, directions[o], thresholds[o])))
+        if not violated:
+            continue
+        catalogue.faults.append(Fault(
+            system=system.name, environment=system.environment.name,
+            configuration=tuple(sorted(measurement.configuration.items())),
+            objectives=violated,
+            measured=tuple(sorted(measurement.objectives.items()))))
+    return catalogue

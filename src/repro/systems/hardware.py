@@ -1,0 +1,65 @@
+"""Hardware platform models.
+
+The paper deploys each system on NVIDIA Jetson TX1, TX2 and Xavier, three
+boards with different microarchitectures and resources; performance behaviour
+changes substantially across them (Fig. 4, Section 8).  In the simulator a
+hardware platform is a set of multipliers applied to the mechanism
+coefficients of the ground-truth SCM:
+
+* ``compute_scale`` — how fast the CPU/GPU complex is (lower latency),
+* ``memory_scale`` — memory subsystem speed (cache-miss penalty),
+* ``power_scale`` — energy cost per unit of work,
+* ``thermal_scale`` — how quickly the board heats up,
+* ``shift_seed`` — a per-platform seed used to perturb secondary coefficients
+  so that environments differ beyond a pure rescaling, which is what makes
+  non-causal predictors unstable across environments (the phenomenon behind
+  Fig. 4a / Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Hardware:
+    """A deployment platform."""
+
+    name: str
+    compute_scale: float
+    memory_scale: float
+    power_scale: float
+    thermal_scale: float
+    shift_seed: int
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: NVIDIA Jetson TX1: the slowest platform of the study.
+JETSON_TX1 = Hardware(name="TX1", compute_scale=1.0, memory_scale=1.0,
+                      power_scale=1.0, thermal_scale=1.15, shift_seed=11)
+
+#: NVIDIA Jetson TX2: faster compute, Pascal GPU, different memory hierarchy.
+JETSON_TX2 = Hardware(name="TX2", compute_scale=1.6, memory_scale=1.3,
+                      power_scale=0.9, thermal_scale=1.0, shift_seed=23)
+
+#: NVIDIA Jetson Xavier: the fastest platform, Volta GPU, much larger caches.
+JETSON_XAVIER = Hardware(name="Xavier", compute_scale=2.8, memory_scale=2.1,
+                         power_scale=0.75, thermal_scale=0.85, shift_seed=37)
+
+_BY_NAME = {hw.name.lower(): hw
+            for hw in (JETSON_TX1, JETSON_TX2, JETSON_XAVIER)}
+
+
+def hardware_by_name(name: str) -> Hardware:
+    """Look up a platform by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown hardware {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def all_hardware() -> list[Hardware]:
+    return [JETSON_TX1, JETSON_TX2, JETSON_XAVIER]

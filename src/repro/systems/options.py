@@ -1,0 +1,194 @@
+"""Configuration options and configuration spaces.
+
+The subject systems expose binary, discrete (numeric) and categorical options
+across the software, kernel and hardware layers (the paper's Tables 5-11).
+Categorical options are encoded as integer codes so that the whole
+configuration is numeric; the encoding is stable and documented on the option
+itself, which the reporting layer uses to print human-readable values.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+
+class Option:
+    """Base class for a configuration option.
+
+    Every option has a ``name``, a ``layer`` (``"software"``, ``"kernel"`` or
+    ``"hardware"``) and a finite tuple of permissible numeric ``values`` (the
+    paper also restricts continuous options to the grids of its measurement
+    campaigns, so a finite domain loses nothing).
+    """
+
+    def __init__(self, name: str, values: Sequence[float],
+                 layer: str = "software", default: float | None = None) -> None:
+        if not values:
+            raise ValueError(f"option {name!r} needs at least one value")
+        self.name = name
+        self.values = tuple(float(v) for v in values)
+        self.layer = layer
+        self.default = float(default) if default is not None else self.values[0]
+        if self.default not in self.values:
+            raise ValueError(
+                f"default {self.default} of option {name!r} not in its domain")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def is_binary(self) -> bool:
+        return len(set(self.values)) == 2
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.choice(self.values))
+
+    def describe(self, value: float) -> str:
+        return f"{self.name}={value:g}"
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(name={self.name!r}, "
+                f"values={self.values})")
+
+
+class BinaryOption(Option):
+    """An on/off option encoded as 0/1."""
+
+    def __init__(self, name: str, layer: str = "software",
+                 default: float = 0.0) -> None:
+        super().__init__(name, (0.0, 1.0), layer=layer, default=default)
+
+
+class NumericOption(Option):
+    """A discrete numeric option (frequencies, sizes, ratios, ...)."""
+
+
+class CategoricalOption(Option):
+    """A categorical option with named levels encoded as integer codes."""
+
+    def __init__(self, name: str, levels: Sequence[str],
+                 layer: str = "software", default: str | None = None) -> None:
+        self.levels = tuple(levels)
+        default_code = 0.0 if default is None else float(self.levels.index(default))
+        super().__init__(name, tuple(float(i) for i in range(len(levels))),
+                         layer=layer, default=default_code)
+
+    def level(self, value: float) -> str:
+        return self.levels[int(round(value))]
+
+    def code(self, level: str) -> float:
+        return float(self.levels.index(level))
+
+    def describe(self, value: float) -> str:
+        return f"{self.name}={self.level(value)}"
+
+
+class ConfigurationSpace:
+    """An ordered collection of options.
+
+    Provides sampling, enumeration (for small spaces), validation and the
+    default configuration.  The total number of configurations is the product
+    of option cardinalities, which for the subject systems ranges from a few
+    thousand to "several trillion" (the SQLite scalability scenario).
+    """
+
+    def __init__(self, options: Iterable[Option]) -> None:
+        self._options: dict[str, Option] = {}
+        for option in options:
+            if option.name in self._options:
+                raise ValueError(f"duplicate option name {option.name!r}")
+            self._options[option.name] = option
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def option_names(self) -> list[str]:
+        return list(self._options)
+
+    def options(self) -> list[Option]:
+        return list(self._options.values())
+
+    def option(self, name: str) -> Option:
+        return self._options[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._options
+
+    def __len__(self) -> int:
+        return len(self._options)
+
+    def by_layer(self, layer: str) -> list[Option]:
+        return [o for o in self._options.values() if o.layer == layer]
+
+    def domains(self) -> dict[str, tuple[float, ...]]:
+        return {name: option.values for name, option in self._options.items()}
+
+    def size(self) -> int:
+        """Total number of distinct configurations."""
+        total = 1
+        for option in self._options.values():
+            total *= option.cardinality
+        return total
+
+    # ------------------------------------------------------------ generation
+    def default_configuration(self) -> dict[str, float]:
+        return {name: option.default for name, option in self._options.items()}
+
+    def sample_configuration(self, rng: np.random.Generator) -> dict[str, float]:
+        return {name: option.sample(rng)
+                for name, option in self._options.items()}
+
+    def sample_configurations(self, n: int,
+                              rng: np.random.Generator) -> list[dict[str, float]]:
+        return [self.sample_configuration(rng) for _ in range(n)]
+
+    def enumerate_configurations(self, limit: int | None = None
+                                 ) -> Iterator[dict[str, float]]:
+        """Exhaustively enumerate the space (bounded by ``limit`` if given)."""
+        names = self.option_names
+        value_lists = [self._options[n].values for n in names]
+        for i, combo in enumerate(itertools.product(*value_lists)):
+            if limit is not None and i >= limit:
+                return
+            yield dict(zip(names, combo))
+
+    # ------------------------------------------------------------ validation
+    def validate(self, configuration: Mapping[str, float]) -> None:
+        """Raise ``ValueError`` if the configuration is not in the space."""
+        for name, option in self._options.items():
+            if name not in configuration:
+                raise ValueError(f"missing option {name!r}")
+            if float(configuration[name]) not in option.values:
+                raise ValueError(
+                    f"value {configuration[name]!r} not permitted for option "
+                    f"{name!r} (permitted: {option.values})")
+
+    def clamp(self, configuration: Mapping[str, float]) -> dict[str, float]:
+        """Snap every value to the nearest permitted value of its option."""
+        out: dict[str, float] = {}
+        for name, option in self._options.items():
+            if name in configuration:
+                value = float(configuration[name])
+                out[name] = min(option.values, key=lambda v: abs(v - value))
+            else:
+                out[name] = option.default
+        return out
+
+    def describe(self, configuration: Mapping[str, float]) -> str:
+        parts = [self._options[name].describe(value)
+                 for name, value in configuration.items()
+                 if name in self._options]
+        return ", ".join(parts)
+
+    def restricted(self, names: Iterable[str]) -> "ConfigurationSpace":
+        """A sub-space containing only the named options."""
+        keep = set(names)
+        return ConfigurationSpace(o for o in self._options.values()
+                                  if o.name in keep)
+
+    def __repr__(self) -> str:
+        return (f"ConfigurationSpace(options={len(self._options)}, "
+                f"size={self.size():.3g})")

@@ -1,0 +1,64 @@
+"""Registry of subject systems.
+
+``get_system`` instantiates any of the paper's six subject systems (plus the
+didactic cache example and the TX1→TX2 case study) by name, on a chosen
+hardware platform, which is how the examples, tests and benchmark harness
+obtain their systems.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.systems.base import ConfigurableSystem
+from repro.systems.cache_example import make_cache_example
+from repro.systems.case_study import make_case_study
+from repro.systems.deepstream import make_deepstream
+from repro.systems.dnn import make_bert, make_deepspeech, make_xception
+from repro.systems.hardware import Hardware, hardware_by_name
+from repro.systems.sqlite import make_sqlite
+from repro.systems.x264 import make_x264
+
+_FACTORIES: dict[str, Callable[..., ConfigurableSystem]] = {
+    "deepstream": make_deepstream,
+    "xception": make_xception,
+    "bert": make_bert,
+    "deepspeech": make_deepspeech,
+    "x264": make_x264,
+    "sqlite": make_sqlite,
+    "cache_example": make_cache_example,
+    "case_study": make_case_study,
+}
+
+
+def list_systems() -> list[str]:
+    """Names of every registered system."""
+    return sorted(_FACTORIES)
+
+
+def get_system(name: str, hardware: str | Hardware | None = None,
+               **kwargs) -> ConfigurableSystem:
+    """Instantiate a registered system.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`list_systems`.
+    hardware:
+        Optional hardware platform (name or :class:`Hardware`); each system
+        has a sensible default matching the paper's experiments.
+    kwargs:
+        Forwarded to the system factory (e.g. ``n_test_images`` for Xception
+        or ``n_extra_options`` for SQLite).
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r}; known systems: {list_systems()}"
+        ) from None
+    if hardware is not None:
+        if isinstance(hardware, str):
+            hardware = hardware_by_name(hardware)
+        kwargs["hardware"] = hardware
+    return factory(**kwargs)

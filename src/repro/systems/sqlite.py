@@ -1,0 +1,121 @@
+"""SQLite: the database subject system (Table 7).
+
+SQLite has the largest configuration space in the study (the paper reports
+242 modifiable options in the full scenario and 34 "most relevant" options in
+the default scenario, Table 3).  The core space here contains the PRAGMA
+options of Table 7 plus the shared kernel/hardware stack; the scalability
+scenario pads the space with additional generated PRAGMA-like options and
+extended tracepoint events, matching the three scalability scenarios of the
+paper.
+"""
+
+from __future__ import annotations
+
+from repro.systems.base import ConfigurableSystem, Environment
+from repro.systems.builder import GroundTruthBuilder, ObjectiveSpec, SystemSpec
+from repro.systems.common_options import (
+    RELEVANT_SYSTEM_OPTIONS,
+    hardware_options,
+    kernel_options,
+)
+from repro.systems.events import CORE_EVENTS, extended_events
+from repro.systems.hardware import JETSON_XAVIER, Hardware
+from repro.systems.options import (
+    BinaryOption,
+    CategoricalOption,
+    ConfigurationSpace,
+    NumericOption,
+    Option,
+)
+from repro.systems.workloads import Workload
+
+OBJECTIVES = {
+    "QueryTime": "minimize",
+    "Energy": "minimize",
+    "Heat": "minimize",
+}
+
+RELEVANT_OPTIONS: tuple[str, ...] = (
+    "PRAGMA_TEMP_STORE", "PRAGMA_JOURNAL_MODE", "PRAGMA_SYNCHRONOUS",
+    "PRAGMA_LOCKING_MODE", "PRAGMA_CACHE_SIZE", "PRAGMA_PAGE_SIZE",
+    "PRAGMA_MAX_PAGE_COUNT", "PRAGMA_MMAP_SIZE",
+) + RELEVANT_SYSTEM_OPTIONS
+
+
+def software_options() -> list[Option]:
+    """SQLite PRAGMA options of Table 7."""
+    return [
+        CategoricalOption("PRAGMA_TEMP_STORE", ("DEFAULT", "FILE", "MEMORY"),
+                          default="DEFAULT"),
+        CategoricalOption("PRAGMA_JOURNAL_MODE",
+                          ("DELETE", "TRUNCATE", "PERSIST", "MEMORY", "OFF"),
+                          default="DELETE"),
+        CategoricalOption("PRAGMA_SYNCHRONOUS", ("FULL", "NORMAL", "OFF"),
+                          default="FULL"),
+        CategoricalOption("PRAGMA_LOCKING_MODE", ("NORMAL", "EXCLUSIVE"),
+                          default="NORMAL"),
+        NumericOption("PRAGMA_CACHE_SIZE", (0, 1000, 2000, 4000, 10000),
+                      default=2000),
+        NumericOption("PRAGMA_PAGE_SIZE", (2048, 4096, 8192), default=4096),
+        NumericOption("PRAGMA_MAX_PAGE_COUNT", (32, 64), default=64),
+        NumericOption("PRAGMA_MMAP_SIZE", (0, 30_000_000_000, 60_000_000_000),
+                      default=0),
+    ]
+
+
+def extra_options(count: int) -> list[Option]:
+    """Generated PRAGMA-like options for the 242-option scalability scenario."""
+    out: list[Option] = []
+    for i in range(count):
+        if i % 3 == 0:
+            out.append(BinaryOption(f"PRAGMA_EXTRA_{i:03d}"))
+        elif i % 3 == 1:
+            out.append(NumericOption(f"PRAGMA_EXTRA_{i:03d}", (0, 1, 2, 4)))
+        else:
+            out.append(NumericOption(f"PRAGMA_EXTRA_{i:03d}",
+                                     (128, 256, 512, 1024)))
+    return out
+
+
+def make_sqlite(hardware: Hardware = JETSON_XAVIER,
+                n_extra_options: int = 0,
+                n_extra_events: int = 0,
+                operations: float = 100_000.0) -> ConfigurableSystem:
+    """Instantiate the SQLite simulator.
+
+    ``n_extra_options`` and ``n_extra_events`` pad the variable set for the
+    scalability scenarios of Table 3 (e.g. 242 options / 288 events).
+    """
+    options = (software_options() + extra_options(n_extra_options)
+               + kernel_options() + hardware_options())
+    space = ConfigurationSpace(options)
+    events = list(CORE_EVENTS) + extended_events(n_extra_events)
+    workload = Workload(name=f"ops-{operations:g}", size=operations,
+                        work_scale=operations / 100_000.0)
+    spec = SystemSpec(
+        name="sqlite",
+        options=options,
+        events=events,
+        objectives=(
+            ObjectiveSpec("QueryTime", "minimize", "latency", base=18.0),
+            ObjectiveSpec("Energy", "minimize", "energy", base=70.0),
+            ObjectiveSpec("Heat", "minimize", "heat", base=48.0),
+        ),
+        seed=3151,
+        key_drivers={
+            "CacheMisses": ("PRAGMA_CACHE_SIZE", "PRAGMA_PAGE_SIZE",
+                            "vm.vfs_cache_pressure"),
+            "CacheReferences": ("PRAGMA_CACHE_SIZE", "PRAGMA_MMAP_SIZE"),
+            "SyscallEnter": ("PRAGMA_SYNCHRONOUS", "PRAGMA_JOURNAL_MODE"),
+            "SyscallExit": ("PRAGMA_SYNCHRONOUS", "PRAGMA_JOURNAL_MODE"),
+            "MajorFaults": ("PRAGMA_MMAP_SIZE", "vm.swappiness"),
+            "Cycles": ("CPUFrequency", "PRAGMA_PAGE_SIZE"),
+        },
+        direct_options=("CPUFrequency", "EMCFrequency"),
+    )
+    builder = GroundTruthBuilder(spec)
+    environment = Environment(hardware=hardware, workload=workload)
+    return ConfigurableSystem(
+        name="sqlite", space=space, events=events, objectives=OBJECTIVES,
+        scm_factory=builder.factory(), environment=environment,
+        measurement_cost_seconds=20.0, seed=3151)

@@ -1,0 +1,41 @@
+"""Workload models.
+
+A workload scales the amount of work the system performs per measurement:
+number of camera streams for Deepstream, number of test images for Xception,
+hours of audio for Deepspeech, review count for BERT, video size for x264 and
+operation mix size for SQLite.  In the simulator a workload contributes a
+``work_scale`` multiplier to the latency/energy mechanisms and an
+``intensity`` multiplier to event counts; changing the workload is therefore
+an environment shift of the data-generating process, which is what the
+workload-transfer experiment (Fig. 17) exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named workload with its size and derived scaling factors."""
+
+    name: str
+    size: float
+    work_scale: float
+    intensity: float = 1.0
+
+    def scaled(self, new_size: float) -> "Workload":
+        """A workload of the same kind with a different size.
+
+        Work scales sub-linearly (batching amortises fixed costs), matching
+        the diminishing-returns behaviour of the real systems.
+        """
+        if self.size <= 0:
+            raise ValueError("cannot rescale a zero-size workload")
+        ratio = new_size / self.size
+        return Workload(name=f"{self.name}-{new_size:g}", size=new_size,
+                        work_scale=self.work_scale * ratio ** 0.85,
+                        intensity=self.intensity * ratio ** 0.5)
+
+    def __str__(self) -> str:
+        return self.name

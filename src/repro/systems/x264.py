@@ -1,0 +1,85 @@
+"""x264: the video encoder subject system (Table 6).
+
+Encodes a 20-second 1080p UGC video; the objectives are encoding latency,
+energy and heat, on top of the x264 software options plus the shared kernel
+and hardware stack.
+"""
+
+from __future__ import annotations
+
+from repro.systems.base import ConfigurableSystem, Environment
+from repro.systems.builder import GroundTruthBuilder, ObjectiveSpec, SystemSpec
+from repro.systems.common_options import (
+    RELEVANT_SYSTEM_OPTIONS,
+    hardware_options,
+    kernel_options,
+)
+from repro.systems.events import CORE_EVENTS
+from repro.systems.hardware import JETSON_TX2, Hardware
+from repro.systems.options import (
+    BinaryOption,
+    CategoricalOption,
+    ConfigurationSpace,
+    NumericOption,
+    Option,
+)
+from repro.systems.workloads import Workload
+
+OBJECTIVES = {
+    "EncodingTime": "minimize",
+    "Energy": "minimize",
+    "Heat": "minimize",
+}
+
+RELEVANT_OPTIONS: tuple[str, ...] = (
+    "CRF", "Bitrate", "BufferSize", "Preset", "MaximumRate", "Refresh",
+) + RELEVANT_SYSTEM_OPTIONS
+
+
+def software_options() -> list[Option]:
+    """x264 encoder options of Table 6."""
+    return [
+        NumericOption("CRF", (13, 18, 24, 30), default=24),
+        NumericOption("Bitrate", (1000, 2000, 2800, 5000), default=2800),
+        NumericOption("BufferSize", (6000, 8000, 20000), default=8000),
+        CategoricalOption("Preset", ("ultrafast", "veryfast", "faster",
+                                     "medium", "slower"), default="medium"),
+        NumericOption("MaximumRate", (600, 1000), default=1000),
+        BinaryOption("Refresh", default=0),
+    ]
+
+
+def make_x264(hardware: Hardware = JETSON_TX2,
+              video_megabytes: float = 11.2) -> ConfigurableSystem:
+    """Instantiate the x264 simulator."""
+    options = software_options() + kernel_options() + hardware_options()
+    space = ConfigurationSpace(options)
+    workload = Workload(name=f"video-{video_megabytes:g}MB",
+                        size=video_megabytes,
+                        work_scale=video_megabytes / 11.2)
+    spec = SystemSpec(
+        name="x264",
+        options=options,
+        events=list(CORE_EVENTS),
+        objectives=(
+            ObjectiveSpec("EncodingTime", "minimize", "latency", base=28.0),
+            ObjectiveSpec("Energy", "minimize", "energy", base=95.0),
+            ObjectiveSpec("Heat", "minimize", "heat", base=52.0),
+        ),
+        seed=264,
+        key_drivers={
+            "CacheMisses": ("BufferSize", "vm.vfs_cache_pressure"),
+            "CacheReferences": ("BufferSize", "Bitrate"),
+            "BranchMisses": ("Preset", "CRF"),
+            "Cycles": ("CPUFrequency", "Preset", "Bitrate"),
+            "Instructions": ("CRF", "Preset"),
+            "MajorFaults": ("vm.swappiness", "SwapMemory"),
+        },
+        direct_options=("CPUFrequency", "CPUCores", "EMCFrequency"),
+    )
+    builder = GroundTruthBuilder(spec)
+    environment = Environment(hardware=hardware, workload=workload)
+    return ConfigurableSystem(
+        name="x264", space=space, events=list(CORE_EVENTS),
+        objectives=OBJECTIVES, scm_factory=builder.factory(),
+        environment=environment, measurement_cost_seconds=30.0, seed=264)

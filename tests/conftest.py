@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+The heavier fixtures (measured datasets, learned models) are session-scoped
+so the discovery/inference/core tests can share them instead of re-measuring
+the simulator, keeping the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.unicorn import Unicorn, UnicornConfig, LoopState
+from repro.discovery.pipeline import CausalModelLearner
+from repro.inference.engine import CausalInferenceEngine
+from repro.systems.cache_example import make_cache_example
+from repro.systems.case_study import make_case_study
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def cache_system():
+    """The two-option cache-policy confounder example (Fig. 1)."""
+    return make_cache_example()
+
+
+@pytest.fixture(scope="session")
+def cache_data(cache_system):
+    """150 measured configurations of the cache example."""
+    sampling_rng = np.random.default_rng(7)
+    _, data = cache_system.random_dataset(150, sampling_rng)
+    return data
+
+
+@pytest.fixture(scope="session")
+def cache_model(cache_system, cache_data):
+    """Learned causal performance model of the cache example."""
+    learner = CausalModelLearner(cache_system.constraints(),
+                                 max_condition_size=2)
+    return learner.learn(cache_data)
+
+
+@pytest.fixture(scope="session")
+def case_study_system():
+    """The TX1->TX2 case-study system (Fig. 12 / Fig. 23)."""
+    return make_case_study()
+
+
+@pytest.fixture(scope="session")
+def case_study_engine(case_study_system):
+    """An inference engine learned from 80 case-study samples."""
+    config = UnicornConfig(initial_samples=80, budget=80, seed=11,
+                           max_condition_size=2)
+    unicorn = Unicorn(case_study_system, config)
+    state = LoopState()
+    unicorn.collect_initial_samples(state)
+    engine = unicorn.learn(state)
+    return engine
+
+
+@pytest.fixture(scope="session")
+def case_study_data(case_study_engine: CausalInferenceEngine):
+    return case_study_engine.learned_model.data

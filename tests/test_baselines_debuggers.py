@@ -1,0 +1,89 @@
+"""Tests for the correlational debugging baselines (CBI, DD, EnCore, BugDoc)."""
+
+import pytest
+
+from repro.baselines.bugdoc import BugDocDebugger
+from repro.baselines.cbi import CBIDebugger
+from repro.baselines.delta_debugging import DeltaDebugger
+from repro.baselines.encore import EnCoreDebugger
+from repro.systems.case_study import FAULTY_CONFIGURATION, make_case_study
+
+BASELINES = (CBIDebugger, DeltaDebugger, EnCoreDebugger, BugDocDebugger)
+
+
+@pytest.fixture(scope="module")
+def fault_context():
+    system = make_case_study()
+    faulty_config = system.space.clamp(FAULTY_CONFIGURATION)
+    faulty_measurement = dict(system.measure(faulty_config).objectives)
+    return faulty_config, faulty_measurement
+
+
+@pytest.mark.parametrize("baseline_cls", BASELINES)
+def test_baseline_produces_complete_debug_result(baseline_cls, fault_context):
+    faulty_config, faulty_measurement = fault_context
+    system = make_case_study()
+    debugger = baseline_cls(system, budget=30, seed=1)
+    result = debugger.debug(faulty_config, faulty_measurement,
+                            objectives=["FPS"])
+    assert result.system == "case_study"
+    assert result.root_causes, f"{baseline_cls.__name__} found no root causes"
+    assert set(result.gains) == {"FPS"}
+    assert result.samples_used >= 5
+    assert result.simulated_hours > 0
+    # The recommended configuration stays inside the configuration space.
+    system.space.validate(result.recommended_configuration)
+
+
+@pytest.mark.parametrize("baseline_cls", BASELINES)
+def test_baseline_usually_improves_a_deep_fault(baseline_cls, fault_context):
+    faulty_config, faulty_measurement = fault_context
+    system = make_case_study()
+    debugger = baseline_cls(system, budget=40, seed=2)
+    result = debugger.debug(faulty_config, faulty_measurement,
+                            objectives=["FPS"])
+    # The case-study fault is at ~1 FPS while most of the space is 10-40 FPS,
+    # so any sensible data-driven fix improves it.
+    assert result.gains["FPS"] > 0
+
+
+def test_relevant_options_restrict_baseline_search(fault_context):
+    faulty_config, faulty_measurement = fault_context
+    system = make_case_study()
+    debugger = CBIDebugger(system, budget=25, seed=0,
+                           relevant_options=["GPUFrequency", "CPUFrequency"])
+    result = debugger.debug(faulty_config, faulty_measurement,
+                            objectives=["FPS"])
+    assert set(result.root_causes).issubset({"GPUFrequency", "CPUFrequency"})
+
+
+def test_delta_debugging_returns_subset_of_differences(fault_context):
+    faulty_config, faulty_measurement = fault_context
+    system = make_case_study()
+    debugger = DeltaDebugger(system, budget=25, seed=3,
+                             max_probe_measurements=10)
+    result = debugger.debug(faulty_config, faulty_measurement,
+                            objectives=["FPS"])
+    for option in result.changed_options:
+        assert result.recommended_configuration[option] != \
+            faulty_config[option]
+
+
+def test_bugdoc_root_causes_follow_decision_path(fault_context):
+    faulty_config, faulty_measurement = fault_context
+    system = make_case_study()
+    debugger = BugDocDebugger(system, budget=40, seed=4, top_n_options=4)
+    result = debugger.debug(faulty_config, faulty_measurement,
+                            objectives=["FPS"])
+    assert len(result.root_causes) <= 4
+
+
+def test_label_campaign_marks_bad_half(fault_context):
+    system = make_case_study()
+    debugger = CBIDebugger(system, budget=20, seed=5)
+    import numpy as np
+    rng = np.random.default_rng(0)
+    campaign = system.measure_many(
+        system.space.sample_configurations(30, rng), rng=rng)
+    labels = debugger.label_campaign(campaign, {"FPS": "maximize"})
+    assert 0 < labels.sum() < len(labels)

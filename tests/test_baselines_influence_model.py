@@ -1,0 +1,62 @@
+"""Tests for the stepwise performance-influence model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.influence_model import PerformanceInfluenceModel
+from repro.stats.dataset import Dataset
+
+
+@pytest.fixture(scope="module")
+def interaction_data() -> Dataset:
+    """y = 3a - 2b + 4ab (+ noise); c is irrelevant."""
+    rng = np.random.default_rng(0)
+    n = 300
+    a = rng.choice([0.0, 1.0, 2.0], size=n)
+    b = rng.choice([0.0, 1.0], size=n)
+    c = rng.choice([0.0, 1.0], size=n)
+    y = 3 * a - 2 * b + 4 * a * b + rng.normal(scale=0.05, size=n)
+    return Dataset(["a", "b", "c", "y"], np.column_stack([a, b, c, y]),
+                   discrete=["a", "b", "c"])
+
+
+def test_fit_selects_true_terms(interaction_data):
+    model = PerformanceInfluenceModel(max_terms=6)
+    model.fit(interaction_data, "y", ["a", "b", "c"])
+    terms = model.terms()
+    assert any(name in terms for name in ("a", "a * b"))
+    assert model.n_terms <= 6
+
+
+def test_predictions_are_accurate_in_sample(interaction_data):
+    model = PerformanceInfluenceModel()
+    model.fit(interaction_data, "y", ["a", "b", "c"])
+    assert model.mape(interaction_data, "y") < 30.0
+
+
+def test_predict_row_matches_manual_evaluation(interaction_data):
+    model = PerformanceInfluenceModel()
+    model.fit(interaction_data, "y", ["a", "b", "c"])
+    prediction = model.predict_row({"a": 2.0, "b": 1.0, "c": 0.0})
+    assert prediction == pytest.approx(3 * 2 - 2 + 4 * 2, abs=1.0)
+
+
+def test_important_options_excludes_irrelevant(interaction_data):
+    model = PerformanceInfluenceModel()
+    model.fit(interaction_data, "y", ["a", "b", "c"])
+    important = model.important_options(top_n=2)
+    assert "a" in important
+    assert "c" not in important
+
+
+def test_interactions_can_be_disabled(interaction_data):
+    model = PerformanceInfluenceModel(include_interactions=False)
+    model.fit(interaction_data, "y", ["a", "b", "c"])
+    assert all(" * " not in term for term in model.terms())
+
+
+def test_predict_returns_array(interaction_data):
+    model = PerformanceInfluenceModel()
+    model.fit(interaction_data, "y", ["a", "b"])
+    predictions = model.predict(interaction_data)
+    assert predictions.shape == (interaction_data.n_rows,)

@@ -1,0 +1,98 @@
+"""Tests for the CART trees and random forest substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.trees import (
+    DecisionTreeClassifier,
+    RandomForestRegressor,
+    RegressionTree,
+)
+
+
+@pytest.fixture(scope="module")
+def classification_problem():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1, size=(400, 3))
+    y = (x[:, 0] > 0.5).astype(float)
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def regression_problem():
+    rng = np.random.default_rng(1)
+    x = rng.uniform(0, 1, size=(400, 3))
+    y = 3.0 * x[:, 0] - 2.0 * x[:, 1] + rng.normal(scale=0.05, size=400)
+    return x, y
+
+
+def test_classifier_learns_threshold_rule(classification_problem):
+    x, y = classification_problem
+    tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+    predictions = tree.predict(x)
+    assert np.mean(predictions == y) > 0.95
+    probabilities = tree.predict_proba(x)
+    assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+
+def test_classifier_importance_identifies_relevant_feature(classification_problem):
+    x, y = classification_problem
+    tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+    assert int(np.argmax(tree.feature_importances_)) == 0
+
+
+def test_decision_path_follows_splits(classification_problem):
+    x, y = classification_problem
+    tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+    path = tree.decision_path(x[0])
+    assert path, "the fitted tree must have at least one split"
+    for feature, threshold, went_left in path:
+        assert went_left == (x[0][feature] <= threshold)
+
+
+def test_classifier_leaves_cover_tree(classification_problem):
+    x, y = classification_problem
+    tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+    leaves = tree.leaves()
+    assert all(leaf.is_leaf for leaf in leaves)
+    assert sum(leaf.n_samples for leaf in leaves) == len(y)
+
+
+def test_regression_tree_reduces_error(regression_problem):
+    x, y = regression_problem
+    tree = RegressionTree(max_depth=5).fit(x, y)
+    predictions = tree.predict(x)
+    baseline = np.mean((y - y.mean()) ** 2)
+    assert np.mean((y - predictions) ** 2) < 0.3 * baseline
+
+
+def test_regression_tree_constant_target_is_leaf():
+    x = np.arange(20, dtype=float)[:, None]
+    y = np.full(20, 3.0)
+    tree = RegressionTree().fit(x, y)
+    assert np.allclose(tree.predict(x), 3.0)
+
+
+def test_forest_prediction_and_uncertainty(regression_problem):
+    x, y = regression_problem
+    forest = RandomForestRegressor(n_trees=10, max_depth=5,
+                                   random_state=0).fit(x, y)
+    mean, std = forest.predict_with_std(x[:10])
+    assert mean.shape == (10,)
+    assert np.all(std >= 0)
+    assert np.mean((forest.predict(x) - y) ** 2) < np.var(y)
+
+
+def test_forest_feature_importances(regression_problem):
+    x, y = regression_problem
+    forest = RandomForestRegressor(n_trees=10, random_state=0).fit(x, y)
+    importances = forest.feature_importances_
+    assert importances.shape == (3,)
+    assert importances[2] < importances[0]
+
+
+def test_unfitted_models_raise():
+    with pytest.raises(RuntimeError):
+        RandomForestRegressor().feature_importances_
+    with pytest.raises(ValueError):
+        RegressionTree().fit(np.ones(3), np.ones(3))

@@ -1,0 +1,125 @@
+"""End-to-end tests for the Unicorn debugger and optimizer."""
+
+import pytest
+
+from repro.core.debugger import UnicornDebugger
+from repro.core.optimizer import UnicornOptimizer
+from repro.core.unicorn import UnicornConfig
+from repro.systems.case_study import (
+    FAULTY_CONFIGURATION,
+    TRUE_ROOT_CAUSES,
+    make_case_study,
+)
+from repro.systems.cache_example import make_cache_example
+
+
+@pytest.fixture(scope="module")
+def debug_result():
+    system = make_case_study()
+    debugger = UnicornDebugger(system, UnicornConfig(
+        initial_samples=25, budget=55, seed=1))
+    return debugger.debug(FAULTY_CONFIGURATION, objectives=["FPS"])
+
+
+def test_debugger_repairs_the_case_study_fault(debug_result):
+    assert debug_result.gains["FPS"] > 100.0  # at least 2x better than fault
+    assert debug_result.recommended_measurement["FPS"] > \
+        5 * debug_result.faulty_measurement["FPS"]
+    assert debug_result.fixed
+
+
+def test_debugger_reports_true_root_causes(debug_result):
+    assert debug_result.root_causes
+    assert set(debug_result.root_causes) & set(TRUE_ROOT_CAUSES)
+
+
+def test_debugger_stays_within_budget(debug_result):
+    assert debug_result.samples_used <= 55
+    assert debug_result.iterations >= 1
+    assert debug_result.simulated_hours > 0
+    assert debug_result.history  # per-iteration trajectory (Fig. 11b/c)
+
+
+def test_debugger_recommended_configuration_is_valid(debug_result):
+    system = make_case_study()
+    system.space.validate(debug_result.recommended_configuration)
+    assert debug_result.changed_options
+
+
+def test_debugger_mean_gain_property(debug_result):
+    assert debug_result.mean_gain == pytest.approx(
+        sum(debug_result.gains.values()) / len(debug_result.gains))
+
+
+def test_debugger_with_qos_stops_early():
+    system = make_case_study()
+    debugger = UnicornDebugger(system, UnicornConfig(
+        initial_samples=20, budget=60, seed=2))
+    result = debugger.debug(FAULTY_CONFIGURATION, objectives=["FPS"],
+                            qos={"FPS": 5.0})
+    assert result.samples_used < 60
+    assert result.recommended_measurement["FPS"] >= 5.0
+
+
+def test_debugger_multi_objective_fault():
+    system = make_case_study()
+    debugger = UnicornDebugger(system, UnicornConfig(
+        initial_samples=20, budget=45, seed=3))
+    result = debugger.debug(FAULTY_CONFIGURATION,
+                            objectives=["FPS", "Energy"])
+    assert set(result.gains) == {"FPS", "Energy"}
+    assert result.gains["FPS"] > 0
+
+
+def test_debugger_measures_fault_when_not_provided():
+    system = make_cache_example()
+    debugger = UnicornDebugger(system, UnicornConfig(
+        initial_samples=15, budget=25, seed=4))
+    result = debugger.debug({"CachePolicy": 3.0, "WorkingSetSize": 128.0},
+                            objectives=["Throughput"])
+    assert result.faulty_measurement["Throughput"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Optimizer
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def optimization_result():
+    system = make_case_study()
+    optimizer = UnicornOptimizer(system, UnicornConfig(
+        initial_samples=20, budget=40, seed=5))
+    return optimizer.optimize(objectives=["FPS"])
+
+
+def test_optimizer_improves_over_initial_sample(optimization_result):
+    trace = optimization_result.best_so_far("FPS")
+    assert len(trace) == optimization_result.iterations + 1
+    assert trace[-1] >= trace[0]
+    assert optimization_result.best_objectives["FPS"] == pytest.approx(
+        trace[-1])
+
+
+def test_optimizer_finds_a_good_configuration(optimization_result):
+    # The case-study optimum is ~40-55 FPS; the optimizer must find at least
+    # half of that within a 40-measurement budget.
+    assert optimization_result.best_objectives["FPS"] > 25.0
+
+
+def test_optimizer_budget_and_bookkeeping(optimization_result):
+    assert optimization_result.samples_used == 40
+    assert len(optimization_result.evaluated) == 40
+    make_case_study().space.validate(optimization_result.best_configuration)
+
+
+def test_optimizer_multi_objective_pareto():
+    system = make_case_study()
+    optimizer = UnicornOptimizer(system, UnicornConfig(
+        initial_samples=15, budget=30, seed=6))
+    result = optimizer.optimize(objectives=["FPS", "Energy"])
+    front = result.pareto_points(["FPS", "Energy"])
+    assert front
+    # Points are (minimised FPS = -FPS, Energy): no point dominates another.
+    for a in front:
+        for b in front:
+            if a != b:
+                assert not (a[0] <= b[0] and a[1] <= b[1])

@@ -1,0 +1,70 @@
+"""Tests for transferring causal models across environments."""
+
+import pytest
+
+from repro.core.transfer import (
+    TransferMode,
+    transfer_debug,
+    transfer_optimize,
+)
+from repro.core.unicorn import UnicornConfig
+from repro.systems.faults import discover_faults
+from repro.systems.case_study import make_case_study
+from repro.systems.hardware import JETSON_TX2, JETSON_XAVIER
+
+
+@pytest.fixture(scope="module")
+def case_study_fault():
+    system = make_case_study(hardware=JETSON_XAVIER)
+    catalogue = discover_faults(system, n_samples=150, percentile=95.0,
+                                objectives=["FPS"], seed=0)
+    pool = catalogue.single_objective("FPS") or catalogue.faults
+    return pool[0]
+
+
+@pytest.fixture(scope="module")
+def transfer_config():
+    return UnicornConfig(initial_samples=15, budget=35, seed=7)
+
+
+@pytest.mark.parametrize("mode", list(TransferMode))
+def test_transfer_debug_modes_produce_results(case_study_fault, mode,
+                                              transfer_config):
+    source = make_case_study(hardware=JETSON_XAVIER)
+    target = make_case_study(hardware=JETSON_TX2)
+    outcome = transfer_debug(source, target, case_study_fault, mode,
+                             config=transfer_config, source_samples=20,
+                             fine_tune_samples=10, objectives=["FPS"])
+    assert outcome.mode is mode
+    assert outcome.source_environment.startswith("Xavier")
+    assert outcome.target_environment.startswith("TX2")
+    assert outcome.debug_result is not None
+    assert outcome.debug_result.gains["FPS"] > -1000.0
+    assert outcome.wall_clock_seconds > 0
+
+
+def test_reuse_uses_fewer_target_samples_than_rerun(case_study_fault,
+                                                    transfer_config):
+    def run(mode):
+        source = make_case_study(hardware=JETSON_XAVIER)
+        target = make_case_study(hardware=JETSON_TX2)
+        return transfer_debug(source, target, case_study_fault, mode,
+                              config=transfer_config, source_samples=20,
+                              fine_tune_samples=10, objectives=["FPS"])
+
+    reuse = run(TransferMode.REUSE)
+    rerun = run(TransferMode.RERUN)
+    assert reuse.extra_target_samples < rerun.extra_target_samples
+
+
+def test_transfer_optimize_modes(transfer_config):
+    for mode in (TransferMode.REUSE, TransferMode.FINE_TUNE):
+        source = make_case_study(hardware=JETSON_XAVIER)
+        target = make_case_study(hardware=JETSON_TX2)
+        outcome = transfer_optimize(source, target, mode,
+                                    config=transfer_config,
+                                    source_samples=15, budget_fraction=0.2,
+                                    objectives=["FPS"])
+        assert outcome.optimization_result is not None
+        assert outcome.optimization_result.best_objectives["FPS"] > 0
+        assert outcome.extra_target_samples >= 0

@@ -1,0 +1,103 @@
+"""Tests for the shared Unicorn loop machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.unicorn import LoopState, Unicorn, UnicornConfig
+from repro.systems.case_study import make_case_study
+from repro.systems.registry import get_system
+
+
+@pytest.fixture(scope="module")
+def loop():
+    system = make_case_study()
+    config = UnicornConfig(initial_samples=20, budget=30, seed=0)
+    unicorn = Unicorn(system, config)
+    state = LoopState()
+    unicorn.collect_initial_samples(state)
+    unicorn.learn(state)
+    return unicorn, state
+
+
+def test_variable_selection_defaults_to_full_space(loop):
+    unicorn, _ = loop
+    assert set(unicorn.option_names) == set(
+        unicorn.system.space.option_names)
+    assert unicorn.event_names == unicorn.system.events
+    assert unicorn.objective_names == list(unicorn.system.objectives)
+
+
+def test_relevant_options_restrict_the_model():
+    system = get_system("xception", hardware="TX2")
+    config = UnicornConfig(initial_samples=10, budget=10, seed=1,
+                           relevant_options=["MemoryGrowth", "CPUFrequency",
+                                             "NotAnOption"],
+                           relevant_events=["CacheMisses", "Cycles"])
+    unicorn = Unicorn(system, config)
+    assert unicorn.option_names == ["MemoryGrowth", "CPUFrequency"]
+    assert unicorn.event_names == ["CacheMisses", "Cycles"]
+    state = LoopState()
+    unicorn.collect_initial_samples(state)
+    data = unicorn.dataset_from_measurements(state.measurements)
+    assert set(data.columns) == {"MemoryGrowth", "CPUFrequency",
+                                 "CacheMisses", "Cycles", "InferenceTime",
+                                 "Energy", "Heat"}
+
+
+def test_initial_sampling_respects_budget(loop):
+    _, state = loop
+    assert state.samples_used == 20
+
+
+def test_collect_initial_samples_adopts_existing_measurements():
+    system = make_case_study()
+    rng = np.random.default_rng(5)
+    existing = system.measure_many(
+        system.space.sample_configurations(25, rng), rng=rng)
+    unicorn = Unicorn(make_case_study(),
+                      UnicornConfig(initial_samples=20, budget=30, seed=2))
+    state = LoopState()
+    unicorn.collect_initial_samples(state, existing)
+    assert state.samples_used == 25  # nothing new measured
+
+
+def test_learn_builds_engine_and_model(loop):
+    _, state = loop
+    assert state.learned is not None
+    assert state.engine is not None
+    assert state.learned.graph.is_fully_oriented()
+
+
+def test_measure_and_update_appends_and_relearns(loop):
+    unicorn, state = loop
+    before = state.samples_used
+    config = unicorn.system.space.default_configuration()
+    measurement = unicorn.measure_and_update(state, config)
+    assert state.samples_used == before + 1
+    assert measurement.configuration == unicorn.system.space.clamp(config)
+    assert unicorn.remaining_budget(state) == unicorn.config.budget \
+        - state.samples_used
+
+
+def test_exploration_proposals_stay_in_space(loop):
+    unicorn, state = loop
+    base = unicorn.system.space.default_configuration()
+    for _ in range(5):
+        proposal = unicorn.propose_exploration(state, base)
+        unicorn.system.space.validate(proposal)
+
+
+def test_exploration_without_model_perturbs_randomly():
+    unicorn = Unicorn(make_case_study(),
+                      UnicornConfig(initial_samples=5, budget=10, seed=3))
+    state = LoopState()
+    proposal = unicorn.propose_exploration(
+        state, unicorn.system.space.default_configuration())
+    unicorn.system.space.validate(proposal)
+
+
+def test_config_defaults_match_paper_parameters():
+    config = UnicornConfig()
+    assert config.initial_samples == 25
+    assert config.entropy_threshold_factor == pytest.approx(0.8)
+    assert 3 <= config.top_k_paths <= 25

@@ -1,0 +1,109 @@
+"""Tests for skeleton recovery and FCI orientation on synthetic ground truths."""
+
+import numpy as np
+import pytest
+
+from repro.discovery.constraints import StructuralConstraints
+from repro.discovery.fci import apply_orientation_rules, fci, orient_colliders
+from repro.discovery.skeleton import initial_graph, learn_skeleton
+from repro.graph.edges import Mark
+from repro.graph.mixed_graph import MixedGraph
+from repro.stats.dataset import Dataset
+from repro.stats.independence import FisherZTest
+
+
+@pytest.fixture(scope="module")
+def collider_data() -> Dataset:
+    """Ground truth: x -> z <- y (x, y independent causes of z)."""
+    rng = np.random.default_rng(0)
+    n = 500
+    x = rng.normal(size=n)
+    y = rng.normal(size=n)
+    z = x + y + rng.normal(scale=0.3, size=n)
+    return Dataset(["x", "y", "z"], np.column_stack([x, y, z]))
+
+
+@pytest.fixture(scope="module")
+def chain_data() -> Dataset:
+    """Ground truth: a -> b -> c."""
+    rng = np.random.default_rng(1)
+    n = 500
+    a = rng.normal(size=n)
+    b = 2 * a + rng.normal(scale=0.4, size=n)
+    c = -1.5 * b + rng.normal(scale=0.4, size=n)
+    return Dataset(["a", "b", "c"], np.column_stack([a, b, c]))
+
+
+def test_initial_graph_respects_constraints():
+    constraints = StructuralConstraints.from_variable_lists(
+        options=["o1", "o2"], events=["e"], objectives=["y"])
+    graph = initial_graph(["o1", "o2", "e", "y"], constraints)
+    assert not graph.has_edge("o1", "o2")
+    assert graph.has_edge("o1", "e")
+
+
+def test_skeleton_recovers_collider_adjacencies(collider_data):
+    result = learn_skeleton(["x", "y", "z"], FisherZTest(collider_data))
+    graph = result.graph
+    assert graph.has_edge("x", "z")
+    assert graph.has_edge("y", "z")
+    assert not graph.has_edge("x", "y")
+    assert result.separating_set("x", "y") == set()
+    assert result.tests_performed > 0
+
+
+def test_skeleton_prunes_chain_endpoints(chain_data):
+    result = learn_skeleton(["a", "b", "c"], FisherZTest(chain_data))
+    graph = result.graph
+    assert graph.has_edge("a", "b")
+    assert graph.has_edge("b", "c")
+    assert not graph.has_edge("a", "c")
+    assert result.separating_set("a", "c") == {"b"}
+
+
+def test_orient_colliders_marks_v_structure(collider_data):
+    result = learn_skeleton(["x", "y", "z"], FisherZTest(collider_data))
+    orient_colliders(result.graph, result.separating_sets)
+    assert result.graph.mark("x", "z") is Mark.ARROW
+    assert result.graph.mark("y", "z") is Mark.ARROW
+
+
+def test_rule_r1_orients_away_from_collider():
+    # a *-> b o-o c with a, c non-adjacent: R1 gives b -> c.
+    graph = MixedGraph(["a", "b", "c"])
+    graph.add_edge("a", "b", Mark.CIRCLE, Mark.ARROW)
+    graph.add_edge("b", "c", Mark.CIRCLE, Mark.CIRCLE)
+    apply_orientation_rules(graph)
+    assert graph.mark("b", "c") is Mark.ARROW
+    assert graph.mark("c", "b") is Mark.TAIL
+
+
+def test_fci_on_collider_returns_collider_pag(collider_data):
+    result = fci(["x", "y", "z"], FisherZTest(collider_data))
+    pag = result.pag
+    assert pag.has_edge("x", "z") and pag.has_edge("y", "z")
+    assert not pag.has_edge("x", "y")
+    assert pag.mark("x", "z") is Mark.ARROW
+    assert pag.mark("y", "z") is Mark.ARROW
+
+
+def test_fci_respects_structural_constraints(chain_data):
+    constraints = StructuralConstraints.from_variable_lists(
+        options=["a"], events=["b"], objectives=["c"])
+    result = fci(["a", "b", "c"], FisherZTest(chain_data),
+                 constraints=constraints)
+    pag = result.pag
+    # The option edge must point out of the option.
+    assert pag.mark("b", "a") is Mark.TAIL
+    assert pag.mark("a", "b") is Mark.ARROW
+    # The objective edge must point into the objective.
+    assert pag.mark("b", "c") is Mark.ARROW
+
+
+def test_required_edges_survive_pruning(chain_data):
+    constraints = StructuralConstraints.from_variable_lists(
+        options=["a"], events=["b"], objectives=["c"],
+        required_edges={("a", "c")})
+    result = learn_skeleton(["a", "b", "c"], FisherZTest(chain_data),
+                            constraints=constraints)
+    assert result.graph.has_edge("a", "c")

@@ -1,0 +1,71 @@
+"""Unit tests for CausalDAG."""
+
+import pytest
+
+from repro.graph.dag import CausalDAG, CycleError
+from repro.graph.edges import Mark
+from repro.graph.mixed_graph import MixedGraph
+
+
+@pytest.fixture
+def diamond() -> CausalDAG:
+    return CausalDAG(["a", "b", "c", "d"],
+                     [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+def test_edges_and_counts(diamond):
+    assert diamond.num_edges() == 4
+    assert ("a", "b") in diamond.edges()
+    assert diamond.has_edge("a", "c")
+    assert not diamond.has_edge("d", "a")
+
+
+def test_cycle_detection():
+    dag = CausalDAG(["a", "b"], [("a", "b")])
+    with pytest.raises(CycleError):
+        dag.add_edge("b", "a")
+    with pytest.raises(CycleError):
+        dag.add_edge("a", "a")
+
+
+def test_roots_and_leaves(diamond):
+    assert diamond.roots() == ["a"]
+    assert diamond.leaves() == ["d"]
+
+
+def test_ancestors_descendants(diamond):
+    assert diamond.ancestors("d") == {"a", "b", "c"}
+    assert diamond.descendants("a") == {"b", "c", "d"}
+
+
+def test_topological_order_respects_edges(diamond):
+    order = diamond.topological_order()
+    for cause, effect in diamond.edges():
+        assert order.index(cause) < order.index(effect)
+
+
+def test_round_trip_through_mixed_graph(diamond):
+    mixed = diamond.to_mixed_graph()
+    assert mixed.is_fully_oriented()
+    back = CausalDAG.from_mixed_graph(mixed)
+    assert sorted(back.edges()) == sorted(diamond.edges())
+
+
+def test_from_mixed_graph_drops_undetermined_edges():
+    graph = MixedGraph(["a", "b", "c"])
+    graph.add_directed_edge("a", "b")
+    graph.add_edge("b", "c", Mark.CIRCLE, Mark.CIRCLE)
+    dag = CausalDAG.from_mixed_graph(graph)
+    assert dag.edges() == [("a", "b")]
+
+
+def test_from_parent_map():
+    dag = CausalDAG.from_parent_map({"c": ["a", "b"], "a": [], "b": ["a"]})
+    assert dag.parents("c") == {"a", "b"}
+    assert dag.parents("b") == {"a"}
+
+
+def test_remove_edge(diamond):
+    diamond.remove_edge("a", "b")
+    assert not diamond.has_edge("a", "b")
+    assert "b" in diamond

@@ -1,0 +1,78 @@
+"""Tests for graph distances and causal-path extraction."""
+
+from repro.graph.dag import CausalDAG
+from repro.graph.distances import (
+    orientation_accuracy,
+    skeleton_f1,
+    structural_hamming_distance,
+)
+from repro.graph.edges import Mark
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.paths import (
+    backtrack_causal_paths,
+    directed_paths,
+    nodes_on_paths,
+    path_edges,
+)
+
+
+def _directed(nodes, edges) -> MixedGraph:
+    return CausalDAG(nodes, edges).to_mixed_graph()
+
+
+def test_shd_zero_for_identical_graphs():
+    graph = _directed(["a", "b", "c"], [("a", "b"), ("b", "c")])
+    assert structural_hamming_distance(graph, graph.copy()) == 0
+
+
+def test_shd_counts_missing_and_reversed_edges():
+    truth = _directed(["a", "b", "c"], [("a", "b"), ("b", "c")])
+    learned = _directed(["a", "b", "c"], [("b", "a")])
+    # One shared adjacency with wrong orientation + one missing adjacency.
+    assert structural_hamming_distance(learned, truth) == 2
+
+
+def test_skeleton_f1_perfect_and_empty():
+    truth = _directed(["a", "b"], [("a", "b")])
+    scores = skeleton_f1(truth, truth)
+    assert scores["f1"] == 1.0
+    empty = MixedGraph(["a", "b"])
+    scores = skeleton_f1(empty, truth)
+    assert scores["recall"] == 0.0
+
+
+def test_orientation_accuracy_detects_flips():
+    truth = _directed(["a", "b"], [("a", "b")])
+    flipped = _directed(["a", "b"], [("b", "a")])
+    assert orientation_accuracy(truth, truth) == 1.0
+    assert orientation_accuracy(flipped, truth) == 0.0
+
+
+def test_backtrack_finds_all_paths_to_objective():
+    graph = _directed(["o1", "o2", "e", "y"],
+                      [("o1", "e"), ("o2", "e"), ("e", "y")])
+    paths = backtrack_causal_paths(graph, "y")
+    assert sorted(paths) == [["o1", "e", "y"], ["o2", "e", "y"]]
+
+
+def test_backtrack_respects_stop_nodes():
+    graph = _directed(["a", "b", "y"], [("a", "b"), ("b", "y")])
+    paths = backtrack_causal_paths(graph, "y", stop_nodes=["b"])
+    assert paths == [["b", "y"]]
+
+
+def test_backtrack_on_root_returns_nothing():
+    graph = _directed(["a", "y"], [("a", "y")])
+    assert backtrack_causal_paths(graph, "a") == []
+
+
+def test_directed_paths_enumeration():
+    graph = _directed(["a", "b", "c", "d"],
+                      [("a", "b"), ("b", "d"), ("a", "c"), ("c", "d")])
+    paths = directed_paths(graph, "a", "d")
+    assert sorted(paths) == [["a", "b", "d"], ["a", "c", "d"]]
+
+
+def test_path_edges_and_nodes_on_paths():
+    assert path_edges(["a", "b", "c"]) == [("a", "b"), ("b", "c")]
+    assert nodes_on_paths([["a", "b"], ["b", "c"]]) == {"a", "b", "c"}

@@ -1,0 +1,42 @@
+"""Unit tests for edge marks and the Edge value object."""
+
+from repro.graph.edges import Edge, Mark
+
+
+def test_mark_values_are_distinct():
+    assert len({Mark.TAIL, Mark.ARROW, Mark.CIRCLE}) == 3
+
+
+def test_directed_edge_points_to_effect():
+    edge = Edge("a", "b", Mark.TAIL, Mark.ARROW)
+    assert edge.is_directed()
+    assert edge.points_to() == "b"
+    assert not edge.is_bidirected()
+    assert not edge.is_undetermined()
+
+
+def test_reversed_edge_swaps_marks():
+    edge = Edge("a", "b", Mark.TAIL, Mark.ARROW)
+    reverse = edge.reversed()
+    assert reverse.u == "b" and reverse.v == "a"
+    assert reverse.mark_u is Mark.ARROW and reverse.mark_v is Mark.TAIL
+    # Reversing the view does not change the causal direction: a -> b.
+    assert reverse.points_to() == "b"
+
+
+def test_bidirected_edge_has_no_direction():
+    edge = Edge("a", "b", Mark.ARROW, Mark.ARROW)
+    assert edge.is_bidirected()
+    assert edge.points_to() is None
+    assert not edge.is_directed()
+
+
+def test_circle_marks_are_undetermined():
+    edge = Edge("a", "b", Mark.CIRCLE, Mark.ARROW)
+    assert edge.is_undetermined()
+    assert not edge.is_directed()
+
+
+def test_str_rendering_mentions_both_endpoints():
+    rendering = str(Edge("x", "y", Mark.TAIL, Mark.ARROW))
+    assert "x" in rendering and "y" in rendering

@@ -1,0 +1,101 @@
+"""Unit tests for the MixedGraph container."""
+
+import pytest
+
+from repro.graph.edges import Mark
+from repro.graph.mixed_graph import MixedGraph
+
+
+@pytest.fixture
+def small_graph() -> MixedGraph:
+    graph = MixedGraph(["a", "b", "c", "d"])
+    graph.add_directed_edge("a", "b")
+    graph.add_directed_edge("b", "c")
+    graph.add_bidirected_edge("c", "d")
+    graph.add_edge("a", "d", Mark.CIRCLE, Mark.CIRCLE)
+    return graph
+
+
+def test_nodes_preserved_in_insertion_order():
+    graph = MixedGraph(["z", "a", "m"])
+    assert graph.nodes == ["z", "a", "m"]
+
+
+def test_add_edge_rejects_self_loop():
+    graph = MixedGraph(["a"])
+    with pytest.raises(ValueError):
+        graph.add_edge("a", "a")
+
+
+def test_parents_children_spouses(small_graph):
+    assert small_graph.parents("b") == {"a"}
+    assert small_graph.children("b") == {"c"}
+    assert small_graph.spouses("c") == {"d"}
+    assert small_graph.parents("a") == set()
+
+
+def test_ancestors_and_descendants(small_graph):
+    assert small_graph.ancestors("c") == {"a", "b"}
+    assert small_graph.descendants("a") == {"b", "c"}
+
+
+def test_mark_accessors_are_endpoint_specific(small_graph):
+    assert small_graph.mark("a", "b") is Mark.ARROW
+    assert small_graph.mark("b", "a") is Mark.TAIL
+
+
+def test_set_mark_requires_existing_edge(small_graph):
+    with pytest.raises(KeyError):
+        small_graph.set_mark("a", "c", Mark.ARROW)
+
+
+def test_remove_edge_and_node(small_graph):
+    small_graph.remove_edge("a", "b")
+    assert not small_graph.has_edge("a", "b")
+    small_graph.remove_node("d")
+    assert "d" not in small_graph
+    assert not small_graph.has_edge("c", "d")
+
+
+def test_remove_missing_raises(small_graph):
+    with pytest.raises(KeyError):
+        small_graph.remove_edge("a", "c")
+    with pytest.raises(KeyError):
+        small_graph.remove_node("zz")
+
+
+def test_directed_and_bidirected_listings(small_graph):
+    assert set(small_graph.directed_edges()) == {("a", "b"), ("b", "c")}
+    assert small_graph.bidirected_edges() == [("c", "d")]
+
+
+def test_undetermined_edges_and_full_orientation(small_graph):
+    undetermined = small_graph.undetermined_edges()
+    assert len(undetermined) == 1
+    assert not small_graph.is_fully_oriented()
+    small_graph.set_mark("a", "d", Mark.ARROW)
+    small_graph.set_mark("d", "a", Mark.TAIL)
+    assert small_graph.is_fully_oriented()
+
+
+def test_copy_is_independent(small_graph):
+    clone = small_graph.copy()
+    clone.remove_edge("a", "b")
+    assert small_graph.has_edge("a", "b")
+    assert not clone.has_edge("a", "b")
+
+
+def test_average_degree(small_graph):
+    total_degree = sum(small_graph.degree(n) for n in small_graph.nodes)
+    assert small_graph.average_degree() == pytest.approx(
+        total_degree / len(small_graph))
+
+
+def test_to_networkx_exports_directed_part(small_graph):
+    nx_graph = small_graph.to_networkx()
+    assert set(nx_graph.edges()) == {("a", "b"), ("b", "c")}
+
+
+def test_summary_lists_every_edge(small_graph):
+    summary = small_graph.summary()
+    assert len(summary.splitlines()) == small_graph.num_edges()

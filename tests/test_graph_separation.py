@@ -1,0 +1,78 @@
+"""Tests for d-separation and Possible-D-Sep."""
+
+import pytest
+
+from repro.graph.dag import CausalDAG
+from repro.graph.edges import Mark
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.separation import d_separated, possible_d_sep
+
+
+@pytest.fixture
+def chain() -> CausalDAG:
+    return CausalDAG(["x", "m", "y"], [("x", "m"), ("m", "y")])
+
+
+@pytest.fixture
+def collider() -> CausalDAG:
+    return CausalDAG(["x", "c", "y", "d"],
+                     [("x", "c"), ("y", "c"), ("c", "d")])
+
+
+@pytest.fixture
+def confounder() -> CausalDAG:
+    return CausalDAG(["z", "x", "y"], [("z", "x"), ("z", "y")])
+
+
+def test_chain_blocked_by_mediator(chain):
+    assert not d_separated(chain, "x", "y")
+    assert d_separated(chain, "x", "y", ["m"])
+
+
+def test_collider_blocks_marginally(collider):
+    assert d_separated(collider, "x", "y")
+    assert not d_separated(collider, "x", "y", ["c"])
+
+
+def test_conditioning_on_collider_descendant_opens_path(collider):
+    assert not d_separated(collider, "x", "y", ["d"])
+
+
+def test_confounder_blocked_by_conditioning(confounder):
+    assert not d_separated(confounder, "x", "y")
+    assert d_separated(confounder, "x", "y", ["z"])
+
+
+def test_same_node_is_never_separated(chain):
+    assert not d_separated(chain, "x", "x")
+
+
+def test_conditioning_on_endpoint_rejected(chain):
+    with pytest.raises(ValueError):
+        d_separated(chain, "x", "y", ["x"])
+
+
+def test_disconnected_nodes_are_separated():
+    dag = CausalDAG(["a", "b"], [])
+    assert d_separated(dag, "a", "b")
+
+
+def test_possible_d_sep_contains_collider_path_nodes():
+    graph = MixedGraph(["x", "a", "b", "y"])
+    # x *-> a <-* b, b adjacent to y: a is a collider on the path from x.
+    graph.add_edge("x", "a", Mark.CIRCLE, Mark.ARROW)
+    graph.add_edge("b", "a", Mark.CIRCLE, Mark.ARROW)
+    graph.add_edge("b", "y", Mark.CIRCLE, Mark.CIRCLE)
+    pdsep = possible_d_sep(graph, "x", "y")
+    assert "a" in pdsep
+    assert "x" not in pdsep and "y" not in pdsep
+
+
+def test_possible_d_sep_stops_at_non_collider_non_triangle():
+    graph = MixedGraph(["x", "a", "b"])
+    graph.add_edge("x", "a", Mark.CIRCLE, Mark.CIRCLE)
+    graph.add_edge("a", "b", Mark.CIRCLE, Mark.CIRCLE)
+    # a is neither a collider nor in a triangle, so b is unreachable.
+    pdsep = possible_d_sep(graph, "x", "zzz") if graph.has_node("zzz") else \
+        possible_d_sep(graph, "x", "b")
+    assert "a" in pdsep

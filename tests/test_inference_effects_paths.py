@@ -1,0 +1,93 @@
+"""Tests for ACE estimation and causal-path ranking."""
+
+import numpy as np
+import pytest
+
+from repro.graph.dag import CausalDAG
+from repro.inference.effects import (
+    average_causal_effect,
+    option_effects_on_objective,
+    path_average_causal_effect,
+)
+from repro.inference.paths import extract_ranked_paths, root_cause_options
+from repro.discovery.constraints import StructuralConstraints
+from repro.scm.fitting import fit_structural_equations
+from repro.stats.dataset import Dataset
+
+
+@pytest.fixture(scope="module")
+def fitted_linear_model():
+    """x -> m -> y with known effects: dy/dx = 2 * -3 = -6."""
+    rng = np.random.default_rng(0)
+    n = 500
+    x = rng.choice([0.0, 1.0, 2.0, 3.0], size=n)
+    m = 2.0 * x + rng.normal(scale=0.05, size=n)
+    y = -3.0 * m + 50.0 + rng.normal(scale=0.05, size=n)
+    data = Dataset(["x", "m", "y"], np.column_stack([x, m, y]),
+                   discrete=["x"])
+    dag = CausalDAG(["x", "m", "y"], [("x", "m"), ("m", "y")])
+    return fit_structural_equations(dag, data)
+
+
+def test_ace_of_direct_cause(fitted_linear_model):
+    ace = average_causal_effect(fitted_linear_model, "m", "x",
+                                domains={"x": (0.0, 1.0, 2.0, 3.0)})
+    assert ace == pytest.approx(2.0, abs=0.2)
+
+
+def test_ace_of_indirect_cause(fitted_linear_model):
+    ace = average_causal_effect(fitted_linear_model, "y", "x",
+                                domains={"x": (0.0, 1.0, 2.0, 3.0)})
+    assert ace == pytest.approx(-6.0, abs=0.6)
+
+
+def test_ace_of_constant_variable_is_zero(fitted_linear_model):
+    assert average_causal_effect(fitted_linear_model, "y", "x",
+                                 domains={"x": (1.0,)}) == 0.0
+
+
+def test_path_ace_averages_edge_effects(fitted_linear_model):
+    path_ace = path_average_causal_effect(
+        fitted_linear_model, ["x", "m", "y"],
+        domains={"x": (0.0, 1.0, 2.0, 3.0)})
+    # |ACE(m,x)| = 2 and |ACE(y,m)| = 3 -> mean 2.5.
+    assert path_ace == pytest.approx(2.5, abs=0.4)
+    assert path_average_causal_effect(fitted_linear_model, ["x"]) == 0.0
+
+
+def test_option_effects_mapping(fitted_linear_model):
+    effects = option_effects_on_objective(
+        fitted_linear_model, "y", ["x"],
+        domains={"x": (0.0, 1.0, 2.0, 3.0)})
+    assert set(effects) == {"x"}
+    assert effects["x"] > 0
+
+
+def test_extract_ranked_paths_on_case_study(case_study_engine):
+    constraints = case_study_engine.constraints
+    paths = case_study_engine.ranked_paths(["FPS"])
+    assert paths, "at least one causal path into FPS must be found"
+    # Paths are sorted by decreasing ACE.
+    aces = [p.ace for p in paths]
+    assert aces == sorted(aces, reverse=True)
+    # Every path terminates at the objective and contains an option.
+    for path in paths:
+        assert path.nodes[-1] == "FPS"
+        assert path.options_on_path(constraints)
+
+
+def test_root_cause_options_orders_by_path_rank(case_study_engine):
+    constraints = case_study_engine.constraints
+    paths = case_study_engine.ranked_paths(["FPS"])
+    causes = root_cause_options(paths, constraints)
+    assert causes
+    assert len(causes) == len(set(causes))
+    limited = root_cause_options(paths, constraints, limit=1)
+    assert len(limited) == 1
+
+
+def test_ranked_paths_skip_unknown_objective(case_study_engine):
+    assert extract_ranked_paths(
+        case_study_engine.learned_model.graph,
+        case_study_engine.fitted_model, ["DoesNotExist"],
+        case_study_engine.constraints) == []

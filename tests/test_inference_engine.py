@@ -1,0 +1,92 @@
+"""Tests for the causal inference engine (Stage V query answering)."""
+
+import numpy as np
+import pytest
+
+from repro.inference.queries import PerformanceQuery, QoSConstraint
+from repro.systems.case_study import FAULTY_CONFIGURATION
+
+
+def test_engine_exposes_models_and_domains(case_study_engine):
+    assert case_study_engine.learned_model.graph.is_fully_oriented()
+    assert "CPUFrequency" in case_study_engine.domains
+    assert case_study_engine.fitted_model.dag is not None
+
+
+def test_causal_effect_of_strong_option_is_large(case_study_engine):
+    strong = abs(case_study_engine.causal_effect("GPUFrequency", "FPS"))
+    # SchedulerPolicy only influences Migrations, a weak path to FPS.
+    weak = abs(case_study_engine.causal_effect("SchedulerPolicy", "FPS"))
+    assert strong > weak
+
+
+def test_option_effects_cover_intervenable_options(case_study_engine):
+    effects = case_study_engine.option_effects("FPS")
+    assert set(effects).issubset(set(case_study_engine.constraints.options()))
+    assert all(v >= 0 for v in effects.values())
+
+
+def test_prediction_returns_requested_objectives(case_study_engine,
+                                                 case_study_system):
+    config = case_study_system.space.default_configuration()
+    prediction = case_study_engine.predict(config, ["FPS", "Energy"])
+    assert set(prediction) == {"FPS", "Energy"}
+    assert np.isfinite(prediction["FPS"])
+
+
+def test_interventional_expectation_shifts_with_option(case_study_engine):
+    low = case_study_engine.interventional_expectation(
+        "FPS", {"GPUFrequency": 0.1})
+    high = case_study_engine.interventional_expectation(
+        "FPS", {"GPUFrequency": 1.3})
+    assert high > low
+
+
+def test_satisfaction_probability_in_unit_interval(case_study_engine):
+    constraint = QoSConstraint("FPS", "maximize", threshold=10.0)
+    probability = case_study_engine.satisfaction_probability(
+        constraint, {"GPUFrequency": 1.3, "CPUFrequency": 2.0})
+    assert 0.0 <= probability <= 1.0
+
+
+def test_answer_effect_query(case_study_engine):
+    query = PerformanceQuery.effect_of({"GPUFrequency": 1.3},
+                                       {"FPS": "maximize"})
+    answer = case_study_engine.answer(query)
+    assert answer.identifiable
+    assert "FPS" in answer.estimates
+    assert answer.causal_queries[0].expression.startswith("E[FPS")
+
+
+def test_answer_repair_query_requires_fault_context(case_study_engine):
+    query = PerformanceQuery.repair({"FPS": "maximize"})
+    answer = case_study_engine.answer(query)
+    assert not answer.identifiable
+    assert answer.repairs is None
+
+
+def test_answer_repair_query_with_fault(case_study_engine, case_study_system):
+    faulty_config = case_study_system.space.clamp(FAULTY_CONFIGURATION)
+    faulty = case_study_system.measure(faulty_config)
+    query = PerformanceQuery.repair({"FPS": "maximize"})
+    answer = case_study_engine.answer(query,
+                                      faulty_configuration=faulty_config,
+                                      faulty_measurement=faulty.objectives)
+    assert answer.identifiable
+    assert answer.root_causes
+    assert answer.repairs is not None and len(answer.repairs) > 0
+
+
+def test_answer_optimize_query_names_top_option(case_study_engine):
+    query = PerformanceQuery.optimize({"FPS": "maximize"})
+    answer = case_study_engine.answer(query)
+    assert "FPS" in answer.estimates
+    assert "causal effect" in answer.notes
+
+
+def test_sampling_probabilities_form_distribution(case_study_engine):
+    probabilities = case_study_engine.sampling_probabilities(["FPS", "Energy"])
+    assert probabilities
+    total = sum(probabilities.values())
+    assert total == pytest.approx(1.0, abs=1e-6)
+    assert all(p >= 0 for p in probabilities.values())

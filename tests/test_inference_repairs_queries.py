@@ -1,0 +1,112 @@
+"""Tests for repair generation / ICE scoring and the query interface."""
+
+import pytest
+
+from repro.inference.queries import (
+    PerformanceQuery,
+    QoSConstraint,
+    QueryKind,
+    translate,
+)
+from repro.inference.repairs import generate_repair_set
+from repro.systems.case_study import FAULTY_CONFIGURATION
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+def test_query_factories_set_kind():
+    assert PerformanceQuery.root_cause({"y": "minimize"}).kind \
+        is QueryKind.ROOT_CAUSE
+    assert PerformanceQuery.repair({"y": "minimize"}).kind is QueryKind.REPAIR
+    assert PerformanceQuery.optimize({"y": "maximize"}).kind \
+        is QueryKind.OPTIMIZE
+    effect = PerformanceQuery.effect_of({"o": 1.0}, {"y": "minimize"})
+    assert effect.kind is QueryKind.EFFECT
+    assert effect.intervention == {"o": 1.0}
+
+
+def test_qos_constraint_satisfaction():
+    minimise = QoSConstraint("latency", "minimize", threshold=10.0)
+    assert minimise.satisfied_by(5.0)
+    assert not minimise.satisfied_by(15.0)
+    maximise = QoSConstraint("fps", "maximize", threshold=30.0)
+    assert maximise.satisfied_by(40.0)
+    assert not maximise.satisfied_by(20.0)
+    unconstrained = QoSConstraint("fps", "maximize")
+    assert unconstrained.satisfied_by(-1.0)
+
+
+def test_translate_effect_query_renders_do_expression():
+    query = PerformanceQuery.effect_of({"BufferSize": 6000.0},
+                                       {"Throughput": "maximize"})
+    causal = translate(query)
+    assert len(causal) == 1
+    assert "do(BufferSize=6000" in causal[0].expression
+    assert causal[0].target == "Throughput"
+
+
+def test_translate_satisfaction_query_contains_threshold():
+    constraint = QoSConstraint("Throughput", "maximize", threshold=40.0)
+    query = PerformanceQuery.satisfaction({"BufferSize": 6000.0}, constraint)
+    causal = translate(query)
+    assert "P(Throughput > 40" in causal[0].expression
+
+
+def test_translate_repair_query_is_per_objective():
+    query = PerformanceQuery.repair({"Latency": "minimize",
+                                     "Energy": "minimize"})
+    assert len(translate(query)) == 2
+
+
+# ---------------------------------------------------------------------------
+# Repair sets / ICE
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def repair_context(case_study_engine, case_study_system):
+    faulty_config = case_study_system.space.clamp(FAULTY_CONFIGURATION)
+    faulty = case_study_system.measure(faulty_config, n_repeats=3)
+    return faulty_config, dict(faulty.objectives)
+
+
+def test_repair_set_is_ranked_and_nonempty(case_study_engine, repair_context):
+    faulty_config, faulty_measurement = repair_context
+    repairs = case_study_engine.repair_set(faulty_config, faulty_measurement,
+                                           {"FPS": "maximize"})
+    assert len(repairs) > 0
+    ices = [r.ice for r in repairs]
+    assert ices == sorted(ices, reverse=True)
+
+
+def test_best_repair_predicts_improvement(case_study_engine, repair_context):
+    faulty_config, faulty_measurement = repair_context
+    repairs = case_study_engine.repair_set(faulty_config, faulty_measurement,
+                                           {"FPS": "maximize"})
+    best = repairs.best()
+    assert best is not None
+    assert best.ice > 0
+    assert best.predicted_objectives()["FPS"] > faulty_measurement["FPS"]
+
+
+def test_repairs_do_not_repeat_faulty_values(case_study_engine, repair_context):
+    faulty_config, faulty_measurement = repair_context
+    repairs = case_study_engine.repair_set(faulty_config, faulty_measurement,
+                                           {"FPS": "maximize"})
+    for repair in repairs.top(20):
+        changes = repair.as_dict()
+        assert changes, "a repair must change at least one option"
+        single_changes = [name for name in changes
+                          if changes[name] == faulty_config.get(name)]
+        assert not single_changes
+
+
+def test_generate_repair_set_respects_max_repairs(case_study_engine,
+                                                  repair_context):
+    faulty_config, faulty_measurement = repair_context
+    paths = case_study_engine.ranked_paths(["FPS"])
+    repairs = generate_repair_set(
+        case_study_engine.fitted_model, paths,
+        case_study_engine.constraints, case_study_engine.domains,
+        faulty_config, faulty_measurement, {"FPS": "maximize"},
+        max_repairs=10)
+    assert len(repairs) <= 10

@@ -1,0 +1,101 @@
+"""Cross-module integration tests.
+
+These exercise the full pipeline the way a user would: instantiate a subject
+system, learn a causal performance model, answer queries, debug a fault and
+check that the learned model converges towards the ground truth as samples
+accumulate (the Fig. 11a property).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.debugger import UnicornDebugger
+from repro.core.unicorn import LoopState, Unicorn, UnicornConfig
+from repro.discovery.pipeline import CausalModelLearner
+from repro.graph.distances import skeleton_f1, structural_hamming_distance
+from repro.inference.queries import PerformanceQuery, QoSConstraint
+from repro.systems.faults import discover_faults
+from repro.systems.registry import get_system
+
+
+@pytest.mark.slow
+def test_full_pipeline_on_x264_latency_fault():
+    """System -> faults -> Unicorn debugging -> improved configuration."""
+    system = get_system("x264", hardware="TX2")
+    catalogue = discover_faults(system, n_samples=200, percentile=95.0,
+                                objectives=["EncodingTime"], seed=2)
+    fault = (catalogue.single_objective("EncodingTime")
+             or catalogue.faults)[0]
+
+    debug_system = get_system("x264", hardware="TX2")
+    debugger = UnicornDebugger(debug_system, UnicornConfig(
+        initial_samples=15, budget=35, seed=2,
+        relevant_options=list(debug_system.space.option_names)[:20]))
+    result = debugger.debug_fault(fault, objectives=["EncodingTime"])
+
+    assert result.samples_used <= 35
+    assert result.gains["EncodingTime"] > 0
+    assert result.root_causes
+    debug_system.space.validate(result.recommended_configuration)
+
+
+@pytest.mark.slow
+def test_model_distance_shrinks_with_more_samples():
+    """Fig. 11a: Hamming distance to the ground truth decreases with data."""
+    system = get_system("cache_example")
+    truth = system.ground_truth_graph()
+    learner = CausalModelLearner(system.constraints(), max_condition_size=2)
+    distances = []
+    recalls = []
+    for i, n in enumerate((15, 300)):
+        _, data = system.random_dataset(n, np.random.default_rng(100 + i))
+        learned = learner.learn(data)
+        distances.append(structural_hamming_distance(learned.graph, truth))
+        recalls.append(skeleton_f1(learned.graph, truth)["recall"])
+    # More data never loses true adjacencies, and the final model stays close
+    # to the ground truth (the cache example has 4 true edges).
+    assert recalls[-1] >= recalls[0]
+    assert distances[-1] <= 3
+
+
+@pytest.mark.slow
+def test_query_answers_are_consistent_with_ground_truth():
+    """Interventional estimates must agree with the simulator's true effect."""
+    system = get_system("case_study")
+    unicorn = Unicorn(system, UnicornConfig(initial_samples=60, budget=60,
+                                            seed=3, max_condition_size=2))
+    state = LoopState()
+    unicorn.collect_initial_samples(state)
+    engine = unicorn.learn(state)
+
+    low_true = system.true_objective(
+        {**system.space.default_configuration(), "GPUFrequency": 0.1}, "FPS")
+    high_true = system.true_objective(
+        {**system.space.default_configuration(), "GPUFrequency": 1.3}, "FPS")
+    low = engine.interventional_expectation("FPS", {"GPUFrequency": 0.1})
+    high = engine.interventional_expectation("FPS", {"GPUFrequency": 1.3})
+    # The learned model must agree on the *direction* and rough magnitude.
+    assert (high > low) == (high_true > low_true)
+    assert abs((high - low)) == pytest.approx(abs(high_true - low_true),
+                                              rel=1.0)
+
+    satisfaction = engine.satisfaction_probability(
+        QoSConstraint("FPS", "maximize", threshold=5.0),
+        {"GPUFrequency": 1.3, "CPUFrequency": 2.0})
+    assert satisfaction > 0.5
+
+    answer = engine.answer(PerformanceQuery.effect_of(
+        {"GPUFrequency": 1.3}, {"FPS": "maximize"}))
+    assert answer.estimates["FPS"] > 0
+
+
+@pytest.mark.slow
+def test_public_api_surface_importable():
+    import repro
+
+    assert hasattr(repro, "Unicorn")
+    assert hasattr(repro, "UnicornDebugger")
+    assert hasattr(repro, "UnicornOptimizer")
+    assert hasattr(repro, "get_system")
+    assert "deepstream" in repro.list_systems()
+    assert repro.__version__

@@ -1,0 +1,110 @@
+"""Tests for the evaluation metrics."""
+
+import pytest
+
+from repro.metrics.debugging import ace_weighted_accuracy, gain, precision_recall
+from repro.metrics.optimization import hypervolume, hypervolume_error, pareto_front
+from repro.metrics.regression import (
+    mean_absolute_percentage_error,
+    rank_correlation,
+    term_stability,
+)
+
+
+# ---------------------------------------------------------------------------
+# Debugging metrics
+# ---------------------------------------------------------------------------
+def test_accuracy_is_weighted_jaccard():
+    weights = {"a": 10.0, "b": 1.0, "c": 1.0}
+    assert ace_weighted_accuracy(["a"], ["a", "b"], weights) == \
+        pytest.approx(10.0 / 11.0)
+    assert ace_weighted_accuracy(["a", "b"], ["a", "b"], weights) == 1.0
+    assert ace_weighted_accuracy([], [], weights) == 1.0
+    assert ace_weighted_accuracy(["c"], ["a"], weights) == 0.0
+
+
+def test_accuracy_falls_back_to_unweighted_jaccard():
+    assert ace_weighted_accuracy(["a"], ["a", "b"], {}) == pytest.approx(0.5)
+
+
+def test_precision_recall_edges():
+    scores = precision_recall(["a", "b"], ["b", "c"])
+    assert scores["precision"] == pytest.approx(0.5)
+    assert scores["recall"] == pytest.approx(0.5)
+    assert precision_recall([], ["a"]) == {"precision": 0.0, "recall": 0.0}
+    assert precision_recall(["a"], [])["recall"] == 0.0
+
+
+def test_gain_direction_handling():
+    assert gain(100.0, 50.0, "minimize") == pytest.approx(50.0)
+    assert gain(100.0, 150.0, "minimize") == pytest.approx(-50.0)
+    assert gain(10.0, 20.0, "maximize") == pytest.approx(100.0)
+    assert gain(0.0, 1.0, "maximize") > 0
+
+
+# ---------------------------------------------------------------------------
+# Optimization metrics
+# ---------------------------------------------------------------------------
+def test_pareto_front_keeps_non_dominated_points():
+    points = [(1.0, 5.0), (2.0, 2.0), (5.0, 1.0), (4.0, 4.0), (2.0, 2.0)]
+    front = pareto_front(points)
+    assert (4.0, 4.0) not in front
+    assert set(front) == {(1.0, 5.0), (2.0, 2.0), (5.0, 1.0)}
+    assert pareto_front([]) == []
+
+
+def test_hypervolume_two_dimensional_rectangle():
+    # A single point (1, 1) against reference (3, 3) dominates a 2x2 square.
+    assert hypervolume([(1.0, 1.0)], (3.0, 3.0)) == pytest.approx(4.0)
+    # Two staircase points.
+    assert hypervolume([(1.0, 2.0), (2.0, 1.0)], (3.0, 3.0)) == \
+        pytest.approx(3.0)
+
+
+def test_hypervolume_one_dimension_and_outside_reference():
+    assert hypervolume([(2.0,)], (5.0,)) == pytest.approx(3.0)
+    assert hypervolume([(9.0, 9.0)], (3.0, 3.0)) == 0.0
+    assert hypervolume([], (1.0, 1.0)) == 0.0
+
+
+def test_hypervolume_error_bounds():
+    reference_front = [(1.0, 1.0)]
+    assert hypervolume_error(reference_front, reference_front,
+                             (3.0, 3.0)) == 0.0
+    worse = [(2.5, 2.5)]
+    error = hypervolume_error(worse, reference_front, (3.0, 3.0))
+    assert 0.0 < error <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Regression / stability metrics
+# ---------------------------------------------------------------------------
+def test_mape_basic_and_zero_handling():
+    assert mean_absolute_percentage_error([100, 200], [110, 180]) == \
+        pytest.approx(10.0)
+    assert mean_absolute_percentage_error([0.0], [1.0]) > 0
+
+
+def test_rank_correlation_perfect_and_reversed():
+    source = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}
+    same = rank_correlation(source, source)
+    assert same["rho"] == pytest.approx(1.0)
+    reversed_terms = {k: -v for k, v in source.items()}
+    flipped = rank_correlation(source, reversed_terms)
+    assert flipped["rho"] == pytest.approx(-1.0)
+
+
+def test_rank_correlation_requires_common_terms():
+    assert rank_correlation({"a": 1.0}, {"b": 2.0})["rho"] == 0.0
+
+
+def test_term_stability_reports_counts_and_difference():
+    source = {"a": 1.0, "b": 2.0}
+    target = {"b": 3.0, "c": 4.0}
+    report = term_stability(source, target)
+    assert report["source_terms"] == 2
+    assert report["target_terms"] == 2
+    assert report["common_terms"] == 1
+    assert report["mean_coefficient_difference"] == pytest.approx(1.0)
+    empty = term_stability({}, {})
+    assert empty["mean_coefficient_difference"] == 0.0

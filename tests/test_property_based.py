@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.dag import CausalDAG
+from repro.graph.distances import structural_hamming_distance
+from repro.graph.separation import d_separated
+from repro.metrics.debugging import ace_weighted_accuracy, precision_recall
+from repro.metrics.optimization import hypervolume, pareto_front
+from repro.scm.mechanisms import ClippedMechanism, LinearMechanism
+from repro.stats.dataset import Dataset
+from repro.stats.discretize import discretize_column
+from repro.stats.entropy import (
+    conditional_entropy,
+    discrete_entropy,
+    joint_entropy,
+    mutual_information,
+)
+
+
+# ---------------------------------------------------------------------------
+# Entropy invariants
+# ---------------------------------------------------------------------------
+discrete_arrays = st.lists(st.integers(min_value=0, max_value=5),
+                           min_size=20, max_size=200).map(np.array)
+
+
+@given(discrete_arrays)
+@settings(max_examples=40, deadline=None)
+def test_entropy_is_non_negative_and_bounded(values):
+    entropy = discrete_entropy(values)
+    assert entropy >= 0.0
+    assert entropy <= np.log2(len(np.unique(values))) + 1e-9
+
+
+@given(discrete_arrays, discrete_arrays)
+@settings(max_examples=40, deadline=None)
+def test_joint_entropy_bounds(x, y):
+    n = min(len(x), len(y))
+    x, y = x[:n], y[:n]
+    joint = joint_entropy(x, y)
+    assert joint >= max(discrete_entropy(x), discrete_entropy(y)) - 1e-9
+    assert joint <= discrete_entropy(x) + discrete_entropy(y) + 1e-9
+
+
+@given(discrete_arrays, discrete_arrays)
+@settings(max_examples=40, deadline=None)
+def test_mutual_information_non_negative_and_symmetric(x, y):
+    n = min(len(x), len(y))
+    x, y = x[:n], y[:n]
+    forward = mutual_information(x, y)
+    backward = mutual_information(y, x)
+    assert forward >= -1e-9
+    assert abs(forward - backward) < 1e-9
+
+
+@given(discrete_arrays)
+@settings(max_examples=40, deadline=None)
+def test_conditioning_never_increases_entropy(x):
+    rng = np.random.default_rng(0)
+    z = rng.integers(0, 3, size=len(x))
+    assert conditional_entropy(x, z) <= discrete_entropy(x) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Discretization
+# ---------------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=5, max_size=200),
+       st.integers(min_value=2, max_value=12))
+@settings(max_examples=40, deadline=None)
+def test_discretize_produces_compact_codes(values, bins):
+    codes = discretize_column(np.array(values), bins=bins)
+    assert codes.min() >= 0
+    assert len(np.unique(codes)) <= bins + 1
+    assert len(codes) == len(values)
+
+
+# ---------------------------------------------------------------------------
+# Pareto / hypervolume invariants
+# ---------------------------------------------------------------------------
+points_strategy = st.lists(
+    st.tuples(st.floats(0, 100, allow_nan=False),
+              st.floats(0, 100, allow_nan=False)),
+    min_size=1, max_size=30)
+
+
+@given(points_strategy)
+@settings(max_examples=40, deadline=None)
+def test_pareto_front_is_mutually_non_dominated(points):
+    front = pareto_front(points)
+    assert front
+    for a in front:
+        for b in front:
+            if a != b:
+                assert not (b[0] <= a[0] and b[1] <= a[1]
+                            and (b[0] < a[0] or b[1] < a[1]))
+
+
+@given(points_strategy)
+@settings(max_examples=40, deadline=None)
+def test_hypervolume_monotone_in_points(points):
+    reference = (150.0, 150.0)
+    all_volume = hypervolume(points, reference)
+    subset_volume = hypervolume(points[: max(len(points) // 2, 1)], reference)
+    assert all_volume >= subset_volume - 1e-9
+    assert all_volume <= 150.0 * 150.0 + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Debugging metrics invariants
+# ---------------------------------------------------------------------------
+names = st.lists(st.sampled_from("abcdefgh"), max_size=6).map(set)
+
+
+@given(names, names)
+@settings(max_examples=60, deadline=None)
+def test_accuracy_and_pr_are_in_unit_interval(predicted, true):
+    weights = {name: 1.0 for name in predicted | true}
+    accuracy = ace_weighted_accuracy(predicted, true, weights)
+    scores = precision_recall(predicted, true)
+    assert 0.0 <= accuracy <= 1.0
+    assert 0.0 <= scores["precision"] <= 1.0
+    assert 0.0 <= scores["recall"] <= 1.0
+    if predicted == true:
+        assert accuracy == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Graph invariants
+# ---------------------------------------------------------------------------
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    nodes = [f"v{i}" for i in range(n)]
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                edges.append((nodes[i], nodes[j]))
+    return CausalDAG(nodes, edges)
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_topological_order_is_consistent(dag):
+    order = dag.topological_order()
+    assert sorted(order) == sorted(dag.nodes)
+    position = {node: i for i, node in enumerate(order)}
+    for cause, effect in dag.edges():
+        assert position[cause] < position[effect]
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_shd_to_self_is_zero_and_symmetric(dag):
+    mixed = dag.to_mixed_graph()
+    assert structural_hamming_distance(mixed, mixed.copy()) == 0
+    other = CausalDAG(dag.nodes).to_mixed_graph()
+    assert structural_hamming_distance(mixed, other) == \
+        structural_hamming_distance(other, mixed)
+
+
+@given(random_dags())
+@settings(max_examples=30, deadline=None)
+def test_adjacent_nodes_are_never_d_separated(dag):
+    for cause, effect in dag.edges():
+        assert not d_separated(dag, cause, effect)
+
+
+@given(random_dags())
+@settings(max_examples=30, deadline=None)
+def test_d_separation_is_symmetric(dag):
+    nodes = dag.nodes
+    for x in nodes:
+        for y in nodes:
+            if x != y:
+                assert d_separated(dag, x, y) == d_separated(dag, y, x)
+
+
+# ---------------------------------------------------------------------------
+# Dataset and mechanism invariants
+# ---------------------------------------------------------------------------
+@given(st.integers(min_value=1, max_value=30),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_dataset_round_trip_through_rows(n_rows, n_cols):
+    rng = np.random.default_rng(n_rows * 10 + n_cols)
+    columns = [f"c{i}" for i in range(n_cols)]
+    values = rng.normal(size=(n_rows, n_cols))
+    data = Dataset(columns, values)
+    rebuilt = Dataset.from_rows(data.rows(), columns=columns)
+    assert np.allclose(rebuilt.values, data.values)
+
+
+@given(st.floats(-100, 100, allow_nan=False),
+       st.floats(-100, 100, allow_nan=False),
+       st.floats(-10, 10, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_clipped_mechanism_respects_bounds(lower_raw, upper_raw, x):
+    lower, upper = sorted((lower_raw, upper_raw))
+    mechanism = ClippedMechanism(LinearMechanism({"x": 3.0}, intercept=1.0),
+                                 lower=lower, upper=upper)
+    value = mechanism.evaluate({"x": x})
+    assert lower <= value <= upper

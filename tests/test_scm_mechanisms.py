@@ -1,0 +1,67 @@
+"""Tests for structural-equation mechanisms."""
+
+import pytest
+
+from repro.scm.mechanisms import (
+    CategoricalTableMechanism,
+    ClippedMechanism,
+    InteractionMechanism,
+    LinearMechanism,
+    PolynomialMechanism,
+    SaturatingMechanism,
+)
+
+
+def test_linear_mechanism_evaluates_affine_form():
+    mech = LinearMechanism({"a": 2.0, "b": -1.0}, intercept=5.0)
+    assert mech.evaluate({"a": 3.0, "b": 4.0}) == pytest.approx(7.0)
+    assert set(mech.parents) == {"a", "b"}
+    assert mech.coefficients == {"a": 2.0, "b": -1.0}
+    assert mech.intercept == 5.0
+
+
+def test_interaction_mechanism_includes_products():
+    mech = InteractionMechanism(linear={"a": 1.0},
+                                interactions={("a", "b"): 2.0},
+                                intercept=1.0)
+    assert mech.evaluate({"a": 2.0, "b": 3.0}) == pytest.approx(1 + 2 + 12)
+    assert set(mech.parents) == {"a", "b"}
+
+
+def test_polynomial_mechanism_powers():
+    mech = PolynomialMechanism({"x": (1.0, 0.5)}, intercept=2.0)
+    # 2 + x + 0.5 x^2 at x = 4 -> 2 + 4 + 8
+    assert mech.evaluate({"x": 4.0}) == pytest.approx(14.0)
+
+
+def test_saturating_mechanism_is_monotone_and_bounded():
+    mech = SaturatingMechanism(driver="x", scale=10.0, half_point=5.0,
+                               baseline=1.0)
+    low = mech.evaluate({"x": 1.0})
+    mid = mech.evaluate({"x": 5.0})
+    high = mech.evaluate({"x": 100.0})
+    assert low < mid < high < 11.0
+    assert mech.evaluate({"x": 5.0}) == pytest.approx(6.0)
+
+
+def test_saturating_mechanism_validates_half_point():
+    with pytest.raises(ValueError):
+        SaturatingMechanism(driver="x", scale=1.0, half_point=0.0)
+
+
+def test_categorical_table_mechanism_lookup_and_default():
+    mech = CategoricalTableMechanism(selector="policy",
+                                     table={0.0: 1.0, 1.0: 5.0},
+                                     default=-1.0, linear={"x": 2.0})
+    assert mech.evaluate({"policy": 1.0, "x": 1.0}) == pytest.approx(7.0)
+    assert mech.evaluate({"policy": 9.0, "x": 0.0}) == pytest.approx(-1.0)
+    assert "policy" in mech.parents and "x" in mech.parents
+
+
+def test_clipped_mechanism_bounds_output():
+    inner = LinearMechanism({"x": 1.0})
+    mech = ClippedMechanism(inner, lower=0.0, upper=10.0)
+    assert mech.evaluate({"x": -5.0}) == 0.0
+    assert mech.evaluate({"x": 50.0}) == 10.0
+    assert mech.evaluate({"x": 3.0}) == 3.0
+    assert mech.parents == inner.parents

@@ -1,0 +1,84 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.stats.dataset import Dataset
+
+
+@pytest.fixture
+def data() -> Dataset:
+    values = np.array([[1.0, 10.0, 100.0],
+                       [2.0, 20.0, 200.0],
+                       [3.0, 30.0, 300.0]])
+    return Dataset(["a", "b", "c"], values, discrete=["a"])
+
+
+def test_shape_and_columns(data):
+    assert data.n_rows == 3
+    assert data.n_columns == 3
+    assert data.columns == ["a", "b", "c"]
+    assert len(data) == 3
+
+
+def test_column_access_and_index(data):
+    assert list(data.column("b")) == [10.0, 20.0, 30.0]
+    assert data.column_index("c") == 2
+
+
+def test_discrete_flags(data):
+    assert data.is_discrete("a")
+    assert not data.is_discrete("b")
+    assert data.discrete_columns == {"a"}
+
+
+def test_row_and_rows(data):
+    assert data.row(1) == {"a": 2.0, "b": 20.0, "c": 200.0}
+    assert len(data.rows()) == 3
+
+
+def test_subset_preserves_order_and_discreteness(data):
+    sub = data.subset(["c", "a"])
+    assert sub.columns == ["c", "a"]
+    assert sub.is_discrete("a")
+    assert list(sub.column("c")) == [100.0, 200.0, 300.0]
+
+
+def test_from_rows_and_append(data):
+    extra = data.append_rows([{"a": 4.0, "b": 40.0, "c": 400.0}])
+    assert extra.n_rows == 4
+    assert data.n_rows == 3  # original unchanged
+    built = Dataset.from_rows([{"x": 1.0, "y": 2.0}])
+    assert built.columns == ["x", "y"]
+
+
+def test_concat_requires_matching_columns(data):
+    other = Dataset(["a", "b", "c"], np.ones((2, 3)))
+    combined = data.concat(other)
+    assert combined.n_rows == 5
+    mismatched = Dataset(["a", "b"], np.ones((1, 2)))
+    with pytest.raises(ValueError):
+        data.concat(mismatched)
+
+
+def test_with_columns_dropped(data):
+    reduced = data.with_columns_dropped(["b"])
+    assert reduced.columns == ["a", "c"]
+
+
+def test_describe_contains_all_columns(data):
+    summary = data.describe()
+    assert set(summary) == {"a", "b", "c"}
+    assert summary["a"]["min"] == 1.0
+    assert summary["c"]["max"] == 300.0
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        Dataset(["a"], np.ones((2, 2)))
+    with pytest.raises(ValueError):
+        Dataset(["a", "a"], np.ones((2, 2)))
+    with pytest.raises(ValueError):
+        Dataset(["a"], np.ones(3))
+    with pytest.raises(ValueError):
+        Dataset.from_rows([])

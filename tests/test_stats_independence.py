@@ -1,0 +1,94 @@
+"""Tests for the conditional-independence tests."""
+
+import numpy as np
+import pytest
+
+from repro.stats.dataset import Dataset
+from repro.stats.independence import (
+    FisherZTest,
+    GSquareTest,
+    MixedCITest,
+    fisher_z,
+    g_square,
+)
+
+
+@pytest.fixture(scope="module")
+def continuous_data() -> Dataset:
+    rng = np.random.default_rng(0)
+    n = 600
+    z = rng.normal(size=n)
+    x = 2 * z + rng.normal(scale=0.5, size=n)
+    y = -3 * z + rng.normal(scale=0.5, size=n)
+    w = rng.normal(size=n)
+    return Dataset(["x", "y", "z", "w"], np.column_stack([x, y, z, w]))
+
+
+@pytest.fixture(scope="module")
+def discrete_data() -> Dataset:
+    rng = np.random.default_rng(1)
+    n = 800
+    z = rng.integers(0, 3, size=n)
+    x = (z + rng.integers(0, 2, size=n)) % 3
+    y = (z + rng.integers(0, 2, size=n)) % 3
+    w = rng.integers(0, 3, size=n)
+    return Dataset(["x", "y", "z", "w"],
+                   np.column_stack([x, y, z, w]).astype(float),
+                   discrete=["x", "y", "z", "w"])
+
+
+def test_fisher_z_detects_marginal_dependence(continuous_data):
+    test = FisherZTest(continuous_data)
+    assert not test.test("x", "y").independent
+    assert test.test("x", "w").independent
+
+
+def test_fisher_z_detects_conditional_independence(continuous_data):
+    test = FisherZTest(continuous_data)
+    assert test.test("x", "y", ["z"]).independent
+
+
+def test_fisher_z_low_level_interface(continuous_data):
+    result = fisher_z(continuous_data.values, 0, 2)
+    assert not result.independent
+    assert 0.0 <= result.p_value <= 1.0
+
+
+def test_fisher_z_insufficient_samples_keeps_edge():
+    data = np.random.default_rng(0).normal(size=(4, 3))
+    result = fisher_z(data, 0, 1, [2])
+    assert not result.independent
+
+
+def test_g_square_detects_dependence_and_conditional_independence(discrete_data):
+    test = GSquareTest(discrete_data)
+    assert not test.test("x", "z").independent
+    assert test.test("x", "w").independent
+    assert test.test("x", "y", ["z"]).independent
+
+
+def test_g_square_low_level_interface():
+    rng = np.random.default_rng(2)
+    x = rng.integers(0, 2, 500)
+    y = x.copy()
+    result = g_square(x, y)
+    assert not result.independent
+    assert result.statistic > 100
+
+
+def test_mixed_test_uses_fisher_for_continuous_pairs(continuous_data):
+    mixed = MixedCITest(continuous_data)
+    assert mixed.test("x", "y", ["z"]).independent
+    assert not mixed.test("x", "z").independent
+
+
+def test_mixed_test_uses_gsquare_for_small_discrete_tables(discrete_data):
+    mixed = MixedCITest(discrete_data)
+    result = mixed.test("x", "z")
+    assert not result.independent
+
+
+def test_ci_result_truthiness(continuous_data):
+    test = FisherZTest(continuous_data)
+    assert bool(test.test("x", "w"))
+    assert not bool(test.test("x", "z"))

@@ -1,0 +1,97 @@
+"""Tests for ConfigurableSystem, environments and measurements."""
+
+import numpy as np
+import pytest
+
+from repro.systems.hardware import JETSON_TX1, JETSON_TX2, JETSON_XAVIER, hardware_by_name
+from repro.systems.workloads import Workload
+
+
+def test_hardware_lookup_and_scaling():
+    assert hardware_by_name("tx2") is JETSON_TX2
+    assert hardware_by_name("Xavier") is JETSON_XAVIER
+    with pytest.raises(KeyError):
+        hardware_by_name("nano")
+    assert JETSON_XAVIER.compute_scale > JETSON_TX2.compute_scale \
+        > JETSON_TX1.compute_scale
+
+
+def test_workload_scaling_is_sublinear():
+    workload = Workload(name="images", size=5000, work_scale=1.0)
+    bigger = workload.scaled(50000)
+    assert bigger.size == 50000
+    assert 1.0 < bigger.work_scale < 10.0
+    with pytest.raises(ValueError):
+        Workload(name="zero", size=0.0, work_scale=1.0).scaled(10)
+
+
+def test_environment_naming_and_updates(cache_system):
+    env = cache_system.environment
+    assert env.name == f"{env.hardware.name}/{env.workload.name}"
+    moved = env.with_hardware(JETSON_XAVIER)
+    assert moved.hardware is JETSON_XAVIER
+    assert moved.workload is env.workload
+
+
+def test_measurement_protocol_uses_median(cache_system):
+    rng = np.random.default_rng(0)
+    config = cache_system.space.default_configuration()
+    measurement = cache_system.measure(config, n_repeats=5, rng=rng)
+    assert measurement.replicates == 5
+    assert set(measurement.events) == {"CacheMisses"}
+    assert set(measurement.objectives) == {"Throughput"}
+    row = measurement.as_row()
+    assert set(config).issubset(row)
+
+
+def test_measure_clamps_configuration(cache_system):
+    measurement = cache_system.measure({"CachePolicy": 0.4,
+                                        "WorkingSetSize": 33.0})
+    assert measurement.configuration["CachePolicy"] in (0.0, 1.0)
+    assert measurement.configuration["WorkingSetSize"] == 32.0
+
+
+def test_measurement_counters_accumulate(cache_system):
+    before = cache_system.measurements_taken
+    cache_system.measure(cache_system.space.default_configuration())
+    assert cache_system.measurements_taken == before + 1
+    assert cache_system.simulated_seconds > 0
+
+
+def test_build_dataset_has_all_variables(cache_system):
+    rng = np.random.default_rng(1)
+    measurements, data = cache_system.random_dataset(20, rng)
+    assert data.n_rows == 20
+    assert set(data.columns) == set(cache_system.variables)
+    assert "CachePolicy" in data.discrete_columns
+
+
+def test_ground_truth_graph_matches_scm(cache_system):
+    graph = cache_system.ground_truth_graph()
+    assert ("CachePolicy", "Throughput") in graph.directed_edges()
+    assert ("CacheMisses", "Throughput") in graph.directed_edges()
+
+
+def test_true_option_effects_rank_strong_options(case_study_system):
+    effects = case_study_system.true_option_effects("FPS")
+    assert effects["GPUFrequency"] > effects["DropCaches"]
+    top = case_study_system.true_root_causes("FPS", top_n=3)
+    assert "GPUFrequency" in top
+
+
+def test_environment_change_creates_fresh_system(cache_system):
+    moved = cache_system.on_hardware(JETSON_XAVIER)
+    assert moved.environment.hardware is JETSON_XAVIER
+    assert moved is not cache_system
+    # The Xavier deployment is faster, so throughput is higher.
+    config = cache_system.space.default_configuration()
+    original = cache_system.true_objective(config, "Throughput")
+    faster = moved.true_objective(config, "Throughput")
+    assert faster > original
+
+
+def test_constraints_match_variable_roles(cache_system):
+    constraints = cache_system.constraints()
+    assert set(constraints.options()) == set(cache_system.space.option_names)
+    assert set(constraints.events()) == set(cache_system.events)
+    assert set(constraints.objectives()) == set(cache_system.objective_names)

@@ -1,0 +1,93 @@
+"""Tests for fault discovery and the case-study / cache-example systems."""
+
+import numpy as np
+import pytest
+
+from repro.systems.cache_example import make_cache_example
+from repro.systems.case_study import (
+    FAULTY_CONFIGURATION,
+    FORUM_FIX,
+    TRUE_ROOT_CAUSES,
+    make_case_study,
+)
+from repro.systems.faults import discover_faults
+from repro.systems.registry import get_system
+
+
+@pytest.fixture(scope="module")
+def xception_catalogue():
+    system = get_system("xception", hardware="TX2")
+    return discover_faults(system, n_samples=250, percentile=95.0, seed=3)
+
+
+def test_fault_catalogue_is_nonempty(xception_catalogue):
+    assert len(xception_catalogue) > 0
+    assert xception_catalogue.system == "xception"
+    assert set(xception_catalogue.thresholds) == {"InferenceTime", "Energy",
+                                                  "Heat"}
+
+
+def test_faults_are_in_the_distribution_tail(xception_catalogue):
+    for fault in xception_catalogue.faults:
+        measured = fault.measured_dict()
+        assert any(measured[o] > xception_catalogue.thresholds[o]
+                   for o in fault.objectives)
+
+
+def test_fault_counts_partition_catalogue(xception_catalogue):
+    counts = xception_catalogue.counts()
+    assert sum(counts.values()) == len(xception_catalogue)
+    singles = xception_catalogue.single_objective()
+    multis = xception_catalogue.multi_objective()
+    assert len(singles) + len(multis) == len(xception_catalogue)
+
+
+def test_single_objective_filter(xception_catalogue):
+    latency_faults = xception_catalogue.single_objective("InferenceTime")
+    for fault in latency_faults:
+        assert fault.objectives == ("InferenceTime",)
+        assert not fault.is_multi_objective
+
+
+def test_fault_percentile_controls_count():
+    system = get_system("x264", hardware="TX2")
+    loose = discover_faults(system, n_samples=200, percentile=90.0, seed=1)
+    strict = discover_faults(get_system("x264", hardware="TX2"),
+                             n_samples=200, percentile=99.0, seed=1)
+    assert len(loose) >= len(strict)
+
+
+# ---------------------------------------------------------------------------
+# Case study / cache example sanity
+# ---------------------------------------------------------------------------
+def test_case_study_fault_is_much_slower_than_fix():
+    system = make_case_study()
+    faulty_fps = system.true_objective(FAULTY_CONFIGURATION, "FPS")
+    fixed = dict(FAULTY_CONFIGURATION)
+    fixed.update(FORUM_FIX)
+    fixed_fps = system.true_objective(fixed, "FPS")
+    assert fixed_fps > 4 * faulty_fps
+    assert fixed_fps > 20.0
+
+
+def test_case_study_root_causes_have_large_ground_truth_effects():
+    system = make_case_study()
+    effects = system.true_option_effects("FPS")
+    ranked = sorted(effects, key=effects.get, reverse=True)
+    assert set(ranked[:3]).issubset(set(TRUE_ROOT_CAUSES))
+
+
+def test_cache_example_marginal_correlation_is_misleading():
+    """Fig. 1a: pooled data shows a *positive* CacheMisses-Throughput trend."""
+    system = make_cache_example()
+    rng = np.random.default_rng(0)
+    _, data = system.random_dataset(200, rng)
+    pooled = np.corrcoef(data.column("CacheMisses"),
+                         data.column("Throughput"))[0, 1]
+    assert pooled > 0.5
+    # Fig. 1b: within a fixed cache policy the trend is negative.
+    policy = data.column("CachePolicy")
+    mask = policy == 0.0
+    within = np.corrcoef(data.column("CacheMisses")[mask],
+                         data.column("Throughput")[mask])[0, 1]
+    assert within < 0.0

@@ -1,0 +1,94 @@
+"""Tests for option types and configuration spaces."""
+
+import numpy as np
+import pytest
+
+from repro.systems.options import (
+    BinaryOption,
+    CategoricalOption,
+    ConfigurationSpace,
+    NumericOption,
+    Option,
+)
+
+
+@pytest.fixture
+def space() -> ConfigurationSpace:
+    return ConfigurationSpace([
+        BinaryOption("flag", layer="software", default=0),
+        NumericOption("freq", (0.5, 1.0, 2.0), layer="hardware", default=1.0),
+        CategoricalOption("policy", ("LRU", "FIFO", "MRU"), layer="kernel",
+                          default="LRU"),
+    ])
+
+
+def test_option_validation():
+    with pytest.raises(ValueError):
+        Option("empty", ())
+    with pytest.raises(ValueError):
+        NumericOption("bad_default", (1, 2), default=7)
+
+
+def test_binary_and_categorical_helpers():
+    flag = BinaryOption("flag")
+    assert flag.is_binary()
+    policy = CategoricalOption("policy", ("A", "B", "C"), default="B")
+    assert policy.default == 1.0
+    assert policy.level(2.0) == "C"
+    assert policy.code("A") == 0.0
+    assert policy.describe(0.0) == "policy=A"
+
+
+def test_option_sampling_stays_in_domain():
+    rng = np.random.default_rng(0)
+    option = NumericOption("x", (1, 5, 9))
+    assert all(option.sample(rng) in (1.0, 5.0, 9.0) for _ in range(20))
+
+
+def test_space_size_and_lookup(space):
+    assert len(space) == 3
+    assert space.size() == 2 * 3 * 3
+    assert "freq" in space
+    assert space.option("freq").layer == "hardware"
+    assert [o.name for o in space.by_layer("kernel")] == ["policy"]
+
+
+def test_space_rejects_duplicate_names():
+    with pytest.raises(ValueError):
+        ConfigurationSpace([BinaryOption("a"), BinaryOption("a")])
+
+
+def test_default_and_sampled_configurations(space):
+    default = space.default_configuration()
+    assert default == {"flag": 0.0, "freq": 1.0, "policy": 0.0}
+    rng = np.random.default_rng(1)
+    samples = space.sample_configurations(10, rng)
+    for config in samples:
+        space.validate(config)
+
+
+def test_enumeration_with_limit(space):
+    all_configs = list(space.enumerate_configurations())
+    assert len(all_configs) == space.size()
+    assert len(list(space.enumerate_configurations(limit=4))) == 4
+
+
+def test_validate_rejects_bad_values(space):
+    with pytest.raises(ValueError):
+        space.validate({"flag": 0.0, "freq": 3.0, "policy": 0.0})
+    with pytest.raises(ValueError):
+        space.validate({"flag": 0.0, "freq": 1.0})
+
+
+def test_clamp_snaps_to_nearest_value(space):
+    clamped = space.clamp({"freq": 1.7, "flag": 0.2})
+    assert clamped["freq"] == 2.0
+    assert clamped["flag"] == 0.0
+    assert clamped["policy"] == 0.0  # missing -> default
+
+
+def test_describe_and_restrict(space):
+    text = space.describe({"policy": 2.0, "freq": 0.5})
+    assert "policy=MRU" in text and "freq=0.5" in text
+    restricted = space.restricted(["flag"])
+    assert restricted.option_names == ["flag"]

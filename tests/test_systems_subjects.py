@@ -1,0 +1,123 @@
+"""Tests covering the six subject systems, the builder and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.systems.builder import GroundTruthBuilder, ObjectiveSpec, SystemSpec
+from repro.systems.events import CORE_EVENTS, extended_events
+from repro.systems.options import BinaryOption, NumericOption
+from repro.systems.registry import get_system, list_systems
+from repro.systems.base import Environment
+from repro.systems.hardware import JETSON_TX2, JETSON_XAVIER
+from repro.systems.workloads import Workload
+
+SUBJECTS = ("deepstream", "xception", "bert", "deepspeech", "x264", "sqlite")
+
+
+def test_registry_lists_all_systems():
+    names = list_systems()
+    for subject in SUBJECTS:
+        assert subject in names
+    assert "cache_example" in names and "case_study" in names
+    with pytest.raises(KeyError):
+        get_system("postgres")
+
+
+@pytest.mark.parametrize("name", SUBJECTS)
+def test_subject_systems_instantiate_and_measure(name):
+    system = get_system(name, hardware="TX2")
+    assert len(system.space) >= 25 or name == "cache_example"
+    assert set(system.events) >= set(CORE_EVENTS[:5]) or name == "sqlite"
+    rng = np.random.default_rng(0)
+    measurement = system.measure(system.space.default_configuration(),
+                                 n_repeats=2, rng=rng)
+    for objective in system.objective_names:
+        assert np.isfinite(measurement.objectives[objective])
+    for event in list(system.events)[:3]:
+        assert measurement.events[event] >= 0.0
+
+
+@pytest.mark.parametrize("name", SUBJECTS)
+def test_ground_truth_graph_is_layered(name):
+    system = get_system(name, hardware="TX2")
+    graph = system.ground_truth_graph()
+    option_set = set(system.space.option_names)
+    for option in option_set:
+        if graph.has_node(option):
+            assert graph.parents(option) == set()
+    for objective in system.objective_names:
+        assert graph.children(objective) == set()
+        assert graph.parents(objective), f"{objective} must have causes"
+
+
+def test_option_counts_match_paper_scale():
+    assert len(get_system("deepstream").space) >= 50      # 53 in the paper
+    assert len(get_system("xception").space) == 28        # Table 1
+    assert len(get_system("bert").space) == 28
+    assert len(get_system("deepspeech").space) == 28
+    assert len(get_system("x264").space) >= 30            # 32 in the paper
+    sqlite_small = get_system("sqlite")
+    sqlite_large = get_system("sqlite", n_extra_options=208)
+    assert len(sqlite_large.space) - len(sqlite_small.space) == 208
+
+
+def test_sqlite_extended_events():
+    system = get_system("sqlite", n_extra_events=269)
+    assert len(system.events) == len(CORE_EVENTS) + 269
+    assert extended_events(3) == ["tp_block_000", "tp_sched_000",
+                                  "tp_irq_000"]
+
+
+def test_hardware_changes_shift_objectives():
+    tx2 = get_system("xception", hardware="TX2")
+    xavier = get_system("xception", hardware="Xavier")
+    config = tx2.space.default_configuration()
+    assert xavier.true_objective(config, "InferenceTime") < \
+        tx2.true_objective(config, "InferenceTime")
+
+
+def test_workload_changes_shift_latency():
+    small = get_system("xception", n_test_images=5000)
+    large = get_system("xception", n_test_images=50000)
+    config = small.space.default_configuration()
+    assert large.true_objective(config, "InferenceTime") > \
+        small.true_objective(config, "InferenceTime")
+
+
+def test_structure_is_invariant_across_hardware():
+    tx2 = get_system("x264", hardware="TX2")
+    xavier = get_system("x264", hardware="Xavier")
+    assert sorted(tx2.ground_truth_graph().directed_edges()) == \
+        sorted(xavier.ground_truth_graph().directed_edges())
+
+
+def test_builder_key_drivers_are_respected():
+    options = [NumericOption("freq", (1, 2, 3), layer="hardware"),
+               BinaryOption("flag"), NumericOption("size", (8, 16, 32))]
+    spec = SystemSpec(
+        name="toy", options=options, events=["EventA", "EventB"],
+        objectives=(ObjectiveSpec("Latency", "minimize", "latency", 10.0),),
+        seed=5, key_drivers={"EventA": ("freq",)}, direct_options=("freq",))
+    builder = GroundTruthBuilder(spec)
+    environment = Environment(hardware=JETSON_TX2,
+                              workload=Workload("w", 1.0, 1.0))
+    scm = builder.build(environment)
+    assert scm.dag.has_edge("freq", "EventA")
+    assert scm.dag.has_edge("freq", "Latency")
+    assert "Latency" in scm.endogenous_variables
+
+
+def test_builder_environment_scaling_changes_coefficients_not_structure():
+    options = [NumericOption("freq", (1, 2, 3), layer="hardware"),
+               BinaryOption("flag")]
+    spec = SystemSpec(
+        name="toy", options=options, events=["EventA"],
+        objectives=(ObjectiveSpec("Latency", "minimize", "latency", 10.0),),
+        seed=7, direct_options=("freq",))
+    builder = GroundTruthBuilder(spec)
+    tx2 = builder.build(Environment(JETSON_TX2, Workload("w", 1.0, 1.0)))
+    xavier = builder.build(Environment(JETSON_XAVIER, Workload("w", 1.0, 1.0)))
+    assert sorted(tx2.dag.edges()) == sorted(xavier.dag.edges())
+    config = {"freq": 2.0, "flag": 0.0}
+    assert tx2.intervene(config)["Latency"] != pytest.approx(
+        xavier.intervene(config)["Latency"])
