@@ -153,6 +153,8 @@ class UnicornDebugger:
             state.history.append({
                 "iteration": float(state.iterations),
                 "score": score,
+                "relearn_seconds": (state.relearn_seconds[-1]
+                                    if state.relearn_seconds else 0.0),
                 **{f"objective:{o}": measurement.objectives[o]
                    for o in objective_names},
             })
@@ -164,6 +166,8 @@ class UnicornDebugger:
             else:
                 no_improvement_streak += 1
 
+            # measure_and_update refreshed the engine in place (incremental
+            # path) or rebuilt it (cold fallback); re-read either way.
             engine = state.engine
             if self._qos_satisfied(best_measurement, directions, qos):
                 break

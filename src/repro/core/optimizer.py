@@ -40,6 +40,8 @@ class OptimizationResult:
     trace: list[dict[str, float]] = field(default_factory=list)
     #: all measured objective vectors (for Pareto-front construction)
     evaluated: list[dict[str, float]] = field(default_factory=list)
+    #: wall-clock seconds of each model (re-)learn during the loop
+    relearn_seconds: list[float] = field(default_factory=list)
 
     def best_so_far(self, objective: str) -> list[float]:
         return [entry[objective] for entry in self.trace]
@@ -106,6 +108,9 @@ class UnicornOptimizer:
 
             measurement = self.unicorn.measure_and_update(state, candidate)
             evaluated.append(dict(measurement.objectives))
+            # The incremental path refreshes the engine in place; the cold
+            # fallback replaces it.  Either way the loop keeps querying the
+            # current one.
             engine = state.engine
 
             if self._dominates_or_improves(measurement.objectives,
@@ -131,7 +136,8 @@ class UnicornOptimizer:
             simulated_hours=(state.samples_used
                              * self.system.measurement_cost_seconds / 3600.0),
             trace=trace,
-            evaluated=evaluated)
+            evaluated=evaluated,
+            relearn_seconds=list(state.relearn_seconds))
 
     # ------------------------------------------------------------------ impl
     def _incumbent(self, measurements: Sequence[Measurement],

@@ -14,6 +14,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -65,6 +66,9 @@ class LoopState:
     engine: CausalInferenceEngine | None = None
     iterations: int = 0
     history: list[dict[str, float]] = field(default_factory=list)
+    #: wall-clock seconds of each (re-)learn, in call order; entries produced
+    #: by the incremental path are also flagged in ``learned.history``.
+    relearn_seconds: list[float] = field(default_factory=list)
 
     @property
     def samples_used(self) -> int:
@@ -158,19 +162,48 @@ class Unicorn:
             state.measurements.extend(self.system.measure_many(
                 configs, n_repeats=self.config.n_repeats, rng=self._rng))
 
-    def learn(self, state: LoopState) -> CausalInferenceEngine:
-        """Learn (or re-learn) the causal performance model from the state."""
-        data = self.dataset_from_measurements(state.measurements)
-        state.learned = self._learner.learn(data)
-        state.engine = CausalInferenceEngine(
-            state.learned, self._domains, top_k_paths=self.config.top_k_paths,
-            max_contexts=self.config.max_contexts)
+    def learn(self, state: LoopState,
+              incremental: bool | None = None) -> CausalInferenceEngine:
+        """Learn (or re-learn) the causal performance model from the state.
+
+        By default the first call cold-starts the model and every later call
+        routes through the incremental path: measurements not yet reflected
+        in the model are appended in place to its dataset, the learner
+        warm-starts discovery from the previous structure, and the existing
+        inference engine is refreshed instead of being reconstructed.  Pass
+        ``incremental=False`` to force the from-scratch path (used by
+        benchmarks as the cold baseline).
+        """
+        started = time.perf_counter()
+        if incremental is None:
+            incremental = (state.learned is not None
+                           and state.learned.skeleton_state is not None)
+        if incremental and state.learned is not None:
+            consumed = state.learned.data.n_rows
+            new_rows = [m.as_row() for m in state.measurements[consumed:]]
+            state.learned = self._learner.update(state.learned, new_rows)
+            if state.engine is not None:
+                state.engine.refresh(state.learned)
+            else:  # pragma: no cover - incremental without a prior engine
+                state.engine = CausalInferenceEngine(
+                    state.learned, self._domains,
+                    top_k_paths=self.config.top_k_paths,
+                    max_contexts=self.config.max_contexts)
+        else:
+            data = self.dataset_from_measurements(state.measurements)
+            state.learned = self._learner.learn(data)
+            state.engine = CausalInferenceEngine(
+                state.learned, self._domains,
+                top_k_paths=self.config.top_k_paths,
+                max_contexts=self.config.max_contexts)
+        state.relearn_seconds.append(time.perf_counter() - started)
         return state.engine
 
     # ------------------------------------------------------------ stage III/IV
     def measure_and_update(self, state: LoopState,
                            configuration: Mapping[str, float],
-                           relearn: bool = True) -> Measurement:
+                           relearn: bool = True,
+                           incremental: bool | None = None) -> Measurement:
         """Measure one configuration and incrementally update the model."""
         measurement = self.system.measure(configuration,
                                           n_repeats=self.config.n_repeats,
@@ -178,7 +211,7 @@ class Unicorn:
         state.measurements.append(measurement)
         state.iterations += 1
         if relearn:
-            self.learn(state)
+            self.learn(state, incremental=incremental)
         return measurement
 
     def propose_exploration(self, state: LoopState,

@@ -19,6 +19,7 @@ marginals) on the empirical joint distribution of the discretized pair.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,12 +28,12 @@ from repro.discovery.constraints import StructuralConstraints
 from repro.graph.edges import Mark
 from repro.graph.mixed_graph import MixedGraph
 from repro.stats.dataset import Dataset
-from repro.stats.discretize import discretize_column
 from repro.stats.entropy import (
     conditional_entropy,
     discrete_entropy,
     entropy_of_distribution,
 )
+from repro.stats.sufficient import SufficientStats
 
 
 @dataclass
@@ -123,35 +124,51 @@ def entropic_direction(x_codes: np.ndarray, y_codes: np.ndarray) -> str:
 
 
 class EntropicOrienter:
-    """Resolve the circle marks of a PAG into a fully directed ADMG."""
+    """Resolve the circle marks of a PAG into a fully directed ADMG.
+
+    The orienter can stay alive across active-loop iterations: discretization
+    codes come from a (shareable) :class:`SufficientStats` that refreshes
+    itself per data epoch, and each edge's LatentSearch uses an RNG derived
+    deterministically from ``(seed, x, y)`` so resolution order (and how many
+    times the orienter ran before) does not matter.
+    """
 
     def __init__(self, data: Dataset, bins: int = 8,
                  n_latent_states: int = 8,
                  entropy_threshold_factor: float = 0.8,
                  latent_search_iterations: int = 30,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 stats: SufficientStats | None = None) -> None:
         self._data = data
         self._bins = bins
         self._n_latent_states = n_latent_states
         self._threshold_factor = entropy_threshold_factor
         self._iterations = latent_search_iterations
-        self._rng = np.random.default_rng(seed)
-        self._codes: dict[str, np.ndarray] = {}
+        self._seed = seed
+        self._stats = stats if stats is not None else SufficientStats(data)
 
     def _coded(self, column: str) -> np.ndarray:
-        if column not in self._codes:
-            self._codes[column] = discretize_column(
-                self._data.column(column), bins=self._bins,
-                already_discrete=self._data.is_discrete(column))
-        return self._codes[column]
+        return self._stats.codes(column, bins=self._bins)
+
+    def _edge_rng(self, x: str, y: str) -> np.random.Generator:
+        """Per-edge RNG: the same (seed, edge) always yields the same stream."""
+        a, b = sorted((x, y))
+        return np.random.default_rng(
+            [self._seed, zlib.crc32(a.encode()), zlib.crc32(b.encode())])
 
     def resolve(self, pag: MixedGraph,
                 constraints: StructuralConstraints | None = None) -> MixedGraph:
-        """Return a copy of ``pag`` with every circle mark resolved."""
+        """Return a copy of ``pag`` with every circle mark resolved.
+
+        Resolution is deterministic given the data epoch: codes come from
+        the epoch-synchronised sufficient statistics and each edge draws
+        from its own ``(seed, edge)``-derived RNG, so resolving the same PAG
+        over the same data always yields the same graph regardless of how
+        (or how often) the orienter was used before.
+        """
         graph = pag.copy()
         for edge in graph.undetermined_edges():
-            x, y = edge.u, edge.v
-            self._resolve_edge(graph, x, y, constraints)
+            self._resolve_edge(graph, edge.u, edge.v, constraints)
         return graph
 
     # ------------------------------------------------------------------ impl
@@ -169,7 +186,7 @@ class EntropicOrienter:
         if allowed_xy and allowed_yx:
             search = latent_search(
                 x_codes, y_codes, n_latent_states=self._n_latent_states,
-                iterations=self._iterations, rng=self._rng,
+                iterations=self._iterations, rng=self._edge_rng(x, y),
                 entropy_threshold_factor=self._threshold_factor)
             if search.confounder_found:
                 graph.set_mark(x, y, Mark.ARROW)

@@ -2,11 +2,36 @@
 
 ``CausalModelLearner`` wires together the skeleton search, FCI orientation
 and entropic resolution into the three-step procedure of Fig. 9, and exposes
-``update`` for the incremental re-learning of Stage IV (Fig. 10): new samples
-are appended to the observational data and the model is re-estimated; because
-the constraint structure and the CI decisions on the old data are largely
-stable, the learned graph converges as the active loop acquires samples
-(Fig. 11a tracks this via the structural Hamming distance).
+``update`` for the incremental re-learning of Stage IV (Fig. 10).
+
+``learn`` is the cold-start path: it rebuilds the statistical session
+(sufficient statistics, CI tests, orienter) and runs FCI from the fully
+connected constraint graph.  ``update`` is genuinely incremental: new samples
+are appended *in place* to the model's dataset (bumping its data epoch), and
+CI decisions far from the significance threshold are replayed from the
+:class:`CIDecisionCache` instead of being recomputed.  Three nested fast
+paths re-estimate the structure:
+
+1. *Trace validation* — the previous discovery run's CI-decision sequence is
+   revalidated against the grown data (mostly cache lookups); if every
+   decision still holds, the previous skeleton, separating sets and PAG are
+   what a cold traversal would reproduce and are reused verbatim.  The
+   guarantee is exact up to the cache's margin policy: decisions far from
+   the significance threshold may be served stale for a few epochs, so a
+   confident decision that flips immediately after new rows arrive is
+   caught one retest window later rather than instantly.
+2. *Structural warm start* (models without a recorded trace) — the skeleton
+   search starts from the previous graph, retests each removed edge against
+   its recorded separating set and each survivor against its current
+   neighbourhood, and carries the separating sets into FCI orientation.
+3. *Cached replay* — when the structure moved, the cold traversal re-runs
+   with the CI cache serving every non-borderline decision, which costs
+   dictionary lookups plus the genuinely new tests.
+
+Because the constraint structure and the CI decisions on the old data are
+largely stable, the learned graph converges as the active loop acquires
+samples (Fig. 11a tracks this via the structural Hamming distance) — and the
+incremental path re-examines only the borderline fringe.
 """
 
 from __future__ import annotations
@@ -17,10 +42,17 @@ from typing import Mapping, Sequence
 
 from repro.discovery.constraints import StructuralConstraints
 from repro.discovery.entropic import EntropicOrienter
-from repro.discovery.fci import fci
+from repro.discovery.fci import FCIResult, fci
+from repro.discovery.skeleton import SkeletonState
 from repro.graph.mixed_graph import MixedGraph
 from repro.stats.dataset import Dataset
-from repro.stats.independence import MixedCITest
+from repro.stats.independence import (
+    CachedCITest,
+    CIDecision,
+    CIDecisionCache,
+    MixedCITest,
+)
+from repro.stats.sufficient import SufficientStats
 
 
 @dataclass
@@ -34,6 +66,14 @@ class LearnedModel:
     ci_tests_performed: int = 0
     discovery_seconds: float = 0.0
     history: list[dict[str, float]] = field(default_factory=list)
+    #: warm-start snapshot for the next incremental update.
+    skeleton_state: SkeletonState | None = None
+    #: the CI-decision sequence of the discovery run that produced this
+    #: model; revalidating it verbatim proves the structure is still the one
+    #: a cold traversal would find (see ``CausalModelLearner.update``).
+    decision_trace: list[CIDecision] | None = field(default=None, repr=False)
+    #: True when this model came out of the incremental path.
+    incremental: bool = False
 
     @property
     def n_samples(self) -> int:
@@ -41,6 +81,17 @@ class LearnedModel:
 
     def average_degree(self) -> float:
         return self.graph.average_degree()
+
+
+@dataclass
+class _LearnerSession:
+    """Statistical machinery kept alive across incremental updates."""
+
+    data: Dataset
+    variables: list[str]
+    stats: SufficientStats
+    ci_test: CachedCITest
+    orienter: EntropicOrienter
 
 
 class CausalModelLearner:
@@ -63,45 +114,95 @@ class CausalModelLearner:
         (0.8 in the paper).
     seed:
         Seed for the stochastic parts of LatentSearch.
+    ci_margin_factor:
+        Margin policy of the CI-decision cache: decisions with p-value
+        outside ``[alpha / factor, alpha * factor]`` survive a data-epoch
+        bump, borderline decisions are retested (see
+        :class:`~repro.stats.independence.CIDecisionCache`).
+    ci_max_stale_epochs:
+        How many data-epoch bumps a confident CI decision may be served
+        stale before it is retested.
     """
 
     def __init__(self, constraints: StructuralConstraints,
                  alpha: float = 0.05, max_condition_size: int = 2,
                  bins: int = 6, entropy_threshold_factor: float = 0.8,
-                 seed: int = 0) -> None:
+                 seed: int = 0, ci_margin_factor: float = 8.0,
+                 ci_max_stale_epochs: int = 3) -> None:
         self._constraints = constraints
         self._alpha = alpha
         self._max_condition_size = max_condition_size
         self._bins = bins
         self._threshold_factor = entropy_threshold_factor
         self._seed = seed
+        self._ci_cache = CIDecisionCache(alpha=alpha,
+                                         margin_factor=ci_margin_factor,
+                                         max_stale_epochs=ci_max_stale_epochs)
+        self._session: _LearnerSession | None = None
 
     @property
     def constraints(self) -> StructuralConstraints:
         return self._constraints
 
+    @property
+    def ci_cache(self) -> CIDecisionCache:
+        """The persistent CI-decision cache (for observability / tests)."""
+        return self._ci_cache
+
+    # --------------------------------------------------------------- session
+    def _model_variables(self, data: Dataset) -> list[str]:
+        return [v for v in data.columns if v in self._constraints.roles]
+
+    def _bind_session(self, data: Dataset) -> _LearnerSession:
+        """(Re)build the persistent statistical session over ``data``.
+
+        One :class:`SufficientStats` feeds the CI tests and the entropic
+        orienter, and one :class:`CachedCITest` threads every CI decision
+        through the epoch-aware cache.
+        """
+        stats = SufficientStats(data)
+        ci_test = CachedCITest(
+            MixedCITest(data, alpha=self._alpha, bins=self._bins,
+                        stats=stats),
+            self._ci_cache, lambda: data.data_epoch)
+        orienter = EntropicOrienter(
+            data, bins=self._bins,
+            entropy_threshold_factor=self._threshold_factor,
+            seed=self._seed, stats=stats)
+        self._session = _LearnerSession(
+            data=data, variables=self._model_variables(data), stats=stats,
+            ci_test=ci_test, orienter=orienter)
+        return self._session
+
     # ------------------------------------------------------------------ learn
     def learn(self, data: Dataset) -> LearnedModel:
-        """Learn a causal performance model from scratch."""
+        """Learn a causal performance model from scratch.
+
+        The model is bound to a private copy of ``data``: incremental
+        updates grow the model's dataset in place, and that must never
+        mutate an array the caller still owns.
+        """
         started = time.perf_counter()
-        variables = [v for v in data.columns if v in self._constraints.roles]
-        ci_test = MixedCITest(data.subset(variables), alpha=self._alpha,
-                              bins=self._bins)
-        result = fci(variables, ci_test, constraints=self._constraints,
+        self._ci_cache.clear()
+        data = data.copy()
+        session = self._bind_session(data)
+        session.ci_test.start_trace()
+        result = fci(session.variables, session.ci_test,
+                     constraints=self._constraints,
                      max_condition_size=self._max_condition_size)
-        orienter = EntropicOrienter(
-            data.subset(variables), bins=self._bins,
-            entropy_threshold_factor=self._threshold_factor, seed=self._seed)
-        resolved = orienter.resolve(result.pag, self._constraints)
+        trace = session.ci_test.take_trace()
+        resolved = session.orienter.resolve(result.pag, self._constraints)
         elapsed = time.perf_counter() - started
         model = LearnedModel(
             graph=resolved, pag=result.pag, constraints=self._constraints,
             data=data, ci_tests_performed=result.tests_performed,
-            discovery_seconds=elapsed)
+            discovery_seconds=elapsed, skeleton_state=result.skeleton_state,
+            decision_trace=trace)
         model.history.append({
             "n_samples": float(data.n_rows),
             "n_edges": float(resolved.num_edges()),
             "seconds": elapsed,
+            "incremental": 0.0,
         })
         return model
 
@@ -110,13 +211,126 @@ class CausalModelLearner:
                new_rows: Sequence[Mapping[str, float]]) -> LearnedModel:
         """Incrementally update a model with newly measured configurations.
 
-        The new samples are appended to the observational data and the model
-        is re-estimated.  The previous history is carried over so callers can
-        plot convergence (Fig. 11).
+        The new samples are appended **in place** to the model's dataset
+        (``model.data`` is shared with the returned model, so earlier
+        :class:`LearnedModel` handles observe the grown data as well), and
+        only the borderline fringe of the causal structure is re-examined:
+        skeleton and Possible-D-Sep pruning warm-start from the previous
+        :class:`SkeletonState`, far-from-threshold CI decisions replay from
+        the cache, and unchanged PAG edges keep their entropic orientation.
+        The previous history is carried over so callers can plot convergence
+        (Fig. 11).
+
+        Models without a warm-start snapshot (or with a dataset that cannot
+        be grown in place) fall back to a cold re-learn over the concatenated
+        data, which is the behaviour of the original from-scratch path.
         """
         if not new_rows:
             return model
-        data = model.data.append_rows(new_rows)
-        updated = self.learn(data)
-        updated.history = model.history + updated.history
+        if model.skeleton_state is None:
+            updated = self.learn(model.data.append_rows(new_rows))
+            updated.history = model.history + updated.history
+            return updated
+
+        started = time.perf_counter()
+        session = self._session
+        if session is None or session.data is not model.data:
+            # Foreign model (e.g. learned by another learner instance):
+            # adopt its dataset.  The cache is keyed by (x, y, Z) and epoch
+            # only, so decisions computed on the previously bound dataset
+            # must not leak into this one.
+            self._ci_cache.clear()
+            session = self._bind_session(model.data)
+        model.data.append_rows_inplace(new_rows)
+
+        result: FCIResult | None = None
+        trace: list[CIDecision] | None = None
+        validation_tests = 0
+        if model.decision_trace:
+            # Fast path — revalidate the previous run's decision sequence.
+            # A constraint-based search is a deterministic function of its
+            # CI decisions, so if every recorded decision still holds on the
+            # grown data the cold traversal would reproduce the previous
+            # structure verbatim; reuse it.  Most decisions replay from the
+            # cache, so this costs the borderline retests plus lookups —
+            # with the caveat that a confident decision served stale under
+            # the margin policy is only rechecked when its reuse window
+            # closes.
+            valid, validation_tests = self._trace_still_valid(
+                session, model.decision_trace)
+            if valid:
+                result = FCIResult(
+                    pag=model.pag.copy(),
+                    separating_sets=model.skeleton_state.separating_sets,
+                    tests_performed=validation_tests,
+                    skeleton_state=model.skeleton_state)
+                trace = model.decision_trace
+        else:
+            # No trace (e.g. a deserialised model): fall back to the
+            # structural warm start — FCI revalidates removed edges against
+            # their recorded separating sets and survivors against their
+            # current neighbourhoods and Possible-D-Sep sets.  The warm
+            # result is only accepted if it reproduces the previous
+            # structure exactly; any deviation escalates to the cold replay
+            # below, which also records a decision trace so subsequent
+            # updates take the sound fast path.
+            warm = fci(session.variables, session.ci_test,
+                       constraints=self._constraints,
+                       max_condition_size=self._max_condition_size,
+                       previous=model.skeleton_state)
+            validation_tests = warm.tests_performed
+            assert warm.skeleton_state is not None
+            previous = model.skeleton_state
+            if (warm.skeleton_state.edges == previous.edges
+                    and warm.skeleton_state.separating_sets
+                    == previous.separating_sets):
+                result = warm
+        if result is None:
+            # The structure moved, so the order-dependent PC traversal could
+            # settle elsewhere: re-run the cold traversal.  With the CI
+            # cache serving every decision that is not borderline, this
+            # replay costs dictionary lookups plus the genuinely new tests,
+            # and by construction it produces exactly what `learn` would (up
+            # to confident decisions the margin policy chose not to retest).
+            session.ci_test.start_trace()
+            result = fci(session.variables, session.ci_test,
+                         constraints=self._constraints,
+                         max_condition_size=self._max_condition_size)
+            trace = session.ci_test.take_trace()
+            result.tests_performed += validation_tests
+        resolved = session.orienter.resolve(result.pag, self._constraints)
+        elapsed = time.perf_counter() - started
+        updated = LearnedModel(
+            graph=resolved, pag=result.pag, constraints=self._constraints,
+            data=model.data, ci_tests_performed=result.tests_performed,
+            discovery_seconds=elapsed, skeleton_state=result.skeleton_state,
+            decision_trace=trace, incremental=True)
+        updated.history = model.history + [{
+            "n_samples": float(model.data.n_rows),
+            "n_edges": float(resolved.num_edges()),
+            "seconds": elapsed,
+            "incremental": 1.0,
+        }]
         return updated
+
+    @staticmethod
+    def _trace_still_valid(session: _LearnerSession,
+                           trace: Sequence[CIDecision]) -> tuple[bool, int]:
+        """Check a recorded decision sequence against the current data.
+
+        Decisions are grouped by conditioning set so shared-set groups run
+        through the batch test (one sufficient-statistics pass); returns
+        ``(all decisions unchanged, number of decisions checked)``.
+        """
+        groups: dict[tuple[str, ...], list[CIDecision]] = {}
+        for decision in trace:
+            groups.setdefault(decision.conditioning, []).append(decision)
+        checked = 0
+        for conditioning, decisions in groups.items():
+            outcomes = session.ci_test.test_batch(
+                [(d.x, d.y) for d in decisions], list(conditioning))
+            checked += len(decisions)
+            for decision, outcome in zip(decisions, outcomes):
+                if outcome.independent != decision.independent:
+                    return False, checked
+        return True, checked

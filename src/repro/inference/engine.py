@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.discovery.constraints import StructuralConstraints
 from repro.discovery.pipeline import LearnedModel
+from repro.graph.mixed_graph import MixedGraph
 from repro.inference.effects import (
     average_causal_effect,
     option_effects_on_objective,
@@ -63,15 +64,80 @@ class CausalInferenceEngine:
 
     def __init__(self, learned: LearnedModel,
                  domains: Mapping[str, Sequence[float]],
-                 top_k_paths: int = 5, max_contexts: int = 60) -> None:
+                 top_k_paths: int = 5, max_contexts: int = 60,
+                 max_ranking_age: int = 5) -> None:
         self._learned = learned
         self._domains = {k: tuple(float(x) for x in v)
                          for k, v in domains.items()}
         self._top_k = top_k_paths
         self._max_contexts = max_contexts
+        #: refreshes a cached path ranking may survive before it is
+        #: re-extracted even when no touching edge changed (Path_ACE scores
+        #: drift as the structural equations are refit on growing data).
+        self._max_ranking_age = max_ranking_age
         self._fitted: FittedPerformanceModel = fit_structural_equations(
             learned.graph, learned.data)
         self._path_cache: dict[tuple[str, ...], list[CausalPath]] = {}
+        self._path_cache_age: dict[tuple[str, ...], int] = {}
+
+    # -------------------------------------------------------------- refresh
+    def refresh(self, learned: LearnedModel) -> None:
+        """Rebind the engine to an updated model, keeping valid caches.
+
+        The structural equations are refit (the observational data grew),
+        but cached path rankings are invalidated *selectively*: a ranking
+        for a set of objectives is dropped when some edge of the causal
+        graph changed whose endpoints can influence one of those objectives
+        (in the old or the new graph), or when it has survived
+        ``max_ranking_age`` refreshes — the Path_ACE scores behind a ranking
+        come from the refitted equations, so even an untouched ranking must
+        not outlive the data that produced it indefinitely.  In the common
+        incremental case — a handful of new samples, an unchanged or
+        locally-changed graph — most rankings survive, so Stage III/V
+        queries after the refresh skip the expensive path re-extraction.
+        """
+        old_graph = self._learned.graph
+        changed_nodes = self._changed_edge_nodes(old_graph, learned.graph)
+        self._learned = learned
+        self._fitted = fit_structural_equations(learned.graph, learned.data)
+        for key in list(self._path_cache):
+            age = self._path_cache_age.get(key, 0) + 1
+            if age > self._max_ranking_age or (
+                    changed_nodes and self._ranking_touched(
+                        key, changed_nodes, old_graph, learned.graph)):
+                del self._path_cache[key]
+                self._path_cache_age.pop(key, None)
+            else:
+                self._path_cache_age[key] = age
+
+    @staticmethod
+    def _changed_edge_nodes(old: MixedGraph, new: MixedGraph) -> set[str]:
+        """Endpoints of edges that were added, removed or re-oriented."""
+        old_edges = {frozenset((e.u, e.v)): (e.mark_u, e.mark_v)
+                     for e in old.edges()}
+        new_edges = {frozenset((e.u, e.v)): (e.mark_u, e.mark_v)
+                     for e in new.edges()}
+        changed: set[str] = set()
+        for key in old_edges.keys() ^ new_edges.keys():
+            changed |= set(key)
+        for key in old_edges.keys() & new_edges.keys():
+            if old_edges[key] != new_edges[key]:
+                changed |= set(key)
+        return changed
+
+    @staticmethod
+    def _ranking_touched(objectives: tuple[str, ...],
+                         changed_nodes: set[str],
+                         old: MixedGraph, new: MixedGraph) -> bool:
+        """Can any changed edge affect the paths into these objectives?"""
+        for objective in objectives:
+            upstream: set[str] = {objective}
+            for graph in (old, new):
+                if graph.has_node(objective):
+                    upstream |= graph.ancestors(objective)
+            if changed_nodes & upstream:
+                return True
+        return False
 
     # ------------------------------------------------------------ properties
     @property
@@ -116,6 +182,7 @@ class CausalInferenceEngine:
                 self._learned.graph, self._fitted, objectives,
                 self.constraints, domains=self._domains, top_k=self._top_k,
                 max_contexts=self._max_contexts)
+            self._path_cache_age[key] = 0
         return self._path_cache[key]
 
     def predict(self, configuration: Mapping[str, float],

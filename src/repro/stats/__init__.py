@@ -10,6 +10,9 @@ demand, and the entropy estimators required by the entropic orientation step.
 
 from repro.stats.dataset import Dataset
 from repro.stats.independence import (
+    CachedCITest,
+    CIDecision,
+    CIDecisionCache,
     CITest,
     FisherZTest,
     GSquareTest,
@@ -17,6 +20,7 @@ from repro.stats.independence import (
     fisher_z,
     g_square,
 )
+from repro.stats.sufficient import SufficientStats
 from repro.stats.entropy import (
     conditional_entropy,
     discrete_entropy,
@@ -27,6 +31,10 @@ from repro.stats.discretize import discretize_column, discretize_matrix
 
 __all__ = [
     "Dataset",
+    "SufficientStats",
+    "CachedCITest",
+    "CIDecision",
+    "CIDecisionCache",
     "CITest",
     "FisherZTest",
     "GSquareTest",

@@ -4,6 +4,12 @@ The offline environment provides numpy but not pandas, so measurement data is
 carried in a small ``Dataset`` wrapper: a 2-D float array with named columns
 and per-column metadata about whether a column is discrete.  All discovery,
 inference and baseline code operates on ``Dataset`` instances.
+
+The active-learning loop appends one measured configuration per iteration, so
+the backing array is growable: :meth:`append_rows_inplace` writes into spare
+capacity (doubling it when exhausted) instead of reallocating, and bumps a
+``data_epoch`` counter that lets derived caches (sufficient statistics,
+discretization codes, CI decisions) detect that the data changed.
 """
 
 from __future__ import annotations
@@ -39,7 +45,9 @@ class Dataset:
             raise ValueError("duplicate column names")
         self._columns = list(columns)
         self._index = {name: i for i, name in enumerate(self._columns)}
-        self._values = values.copy()
+        self._storage = values.copy()
+        self._n_rows = values.shape[0]
+        self._epoch = 0
         self._discrete = {c for c in discrete if c in self._index}
 
     # ------------------------------------------------------------ properties
@@ -49,7 +57,18 @@ class Dataset:
 
     @property
     def values(self) -> np.ndarray:
-        return self._values
+        """The measurement matrix (a view into the growable storage).
+
+        The view is only valid until the next :meth:`append_rows_inplace`
+        that forces a reallocation; consumers that cache it should re-read
+        when :attr:`data_epoch` changes.
+        """
+        return self._storage[:self._n_rows]
+
+    @property
+    def data_epoch(self) -> int:
+        """Counter bumped by every in-place mutation of the data."""
+        return self._epoch
 
     @property
     def discrete_columns(self) -> set[str]:
@@ -57,11 +76,11 @@ class Dataset:
 
     @property
     def n_rows(self) -> int:
-        return self._values.shape[0]
+        return self._n_rows
 
     @property
     def n_columns(self) -> int:
-        return self._values.shape[1]
+        return self._storage.shape[1]
 
     def __len__(self) -> int:
         return self.n_rows
@@ -72,7 +91,7 @@ class Dataset:
     # --------------------------------------------------------------- access
     def column(self, name: str) -> np.ndarray:
         """Return a copy-free view of one column."""
-        return self._values[:, self._index[name]]
+        return self.values[:, self._index[name]]
 
     def column_index(self, name: str) -> int:
         return self._index[name]
@@ -80,12 +99,14 @@ class Dataset:
     def subset(self, columns: Sequence[str]) -> "Dataset":
         """Dataset restricted to the given columns (in the given order)."""
         idx = [self._index[c] for c in columns]
-        return Dataset(columns, self._values[:, idx],
+        return Dataset(columns, self.values[:, idx],
                        discrete=[c for c in columns if c in self._discrete])
 
     def row(self, i: int) -> dict[str, float]:
         """Row ``i`` as a ``{column: value}`` mapping."""
-        return {c: float(self._values[i, j])
+        if not 0 <= i < self._n_rows:
+            raise IndexError(i)
+        return {c: float(self._storage[i, j])
                 for j, c in enumerate(self._columns)}
 
     def rows(self) -> list[dict[str, float]]:
@@ -107,14 +128,40 @@ class Dataset:
     def append_rows(self, rows: Sequence[Mapping[str, float]]) -> "Dataset":
         """Return a new dataset with ``rows`` appended."""
         extra = np.array([[float(r[c]) for c in self._columns] for r in rows])
-        values = np.vstack([self._values, extra]) if len(rows) else self._values
+        values = np.vstack([self.values, extra]) if len(rows) else self.values
         return Dataset(self._columns, values, discrete=self._discrete)
+
+    def append_rows_inplace(self, rows: Sequence[Mapping[str, float]]) -> None:
+        """Append ``rows`` to this dataset, growing the backing storage.
+
+        Spare capacity is doubled when exhausted, so a sequence of
+        single-row appends (one per active-loop iteration) costs amortised
+        O(row) instead of reallocating the full matrix each time.  Bumps
+        :attr:`data_epoch` so epoch-keyed caches know to resynchronise.
+        """
+        if not rows:
+            return
+        extra = np.array([[float(r[c]) for c in self._columns] for r in rows],
+                         dtype=float)
+        needed = self._n_rows + len(rows)
+        if needed > self._storage.shape[0]:
+            capacity = max(needed, 2 * self._storage.shape[0], 16)
+            storage = np.empty((capacity, self._storage.shape[1]), dtype=float)
+            storage[:self._n_rows] = self._storage[:self._n_rows]
+            self._storage = storage
+        self._storage[self._n_rows:needed] = extra
+        self._n_rows = needed
+        self._epoch += 1
+
+    def copy(self) -> "Dataset":
+        """Independent copy of this dataset (rows, columns, discrete flags)."""
+        return Dataset(self._columns, self.values, discrete=self._discrete)
 
     def concat(self, other: "Dataset") -> "Dataset":
         """Concatenate two datasets with identical columns."""
         if other.columns != self._columns:
             raise ValueError("column mismatch in Dataset.concat")
-        values = np.vstack([self._values, other.values])
+        values = np.vstack([self.values, other.values])
         return Dataset(self._columns, values,
                        discrete=self._discrete | other.discrete_columns)
 

@@ -1,0 +1,208 @@
+"""Sufficient statistics for incremental conditional-independence testing.
+
+The active loop of Unicorn appends one measured configuration per iteration
+and then re-estimates the causal model.  Re-running every CI test from the
+raw data repeats the same O(n) reductions thousands of times per iteration;
+:class:`SufficientStats` instead maintains the quantities the tests actually
+need — per-column sums, the cross-product matrix ``X^T X``, discretization
+codes and cardinalities — and updates them incrementally as rows arrive.
+
+From the cross-product matrix every (partial) correlation follows by a Schur
+complement, so a Fisher z test costs one small ``k x k`` solve instead of two
+least-squares fits over the raw rows, and a *batch* of tests sharing one
+conditioning set costs a single solve for all pairs at once
+(:meth:`partial_correlations`).
+
+Synchronisation is epoch-based: the backing :class:`~repro.stats.dataset.Dataset`
+bumps ``data_epoch`` on every in-place append, and every accessor here calls
+:meth:`refresh` first, which folds only the newly appended rows into the sums
+and drops the per-epoch code caches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.dataset import Dataset
+from repro.stats.discretize import discretize_column
+
+#: Clamp for correlations so the Fisher transform stays finite.
+_CORR_CLAMP = 0.9999999
+#: Variances below this are treated as zero (constant column).
+_VAR_EPS = 1e-24
+
+
+class SufficientStats:
+    """Incrementally maintained sufficient statistics over a dataset."""
+
+    def __init__(self, data: Dataset) -> None:
+        self._data = data
+        p = data.n_columns
+        self._n = 0
+        self._sum = np.zeros(p)
+        self._cross = np.zeros((p, p))
+        # Per-column shift (the first observed row) applied before
+        # accumulating: covariance is shift-invariant, and centering near the
+        # data keeps ``cross/n - mean*mean`` from catastrophically cancelling
+        # for columns with large magnitudes (timestamps, byte counts).
+        self._shift: np.ndarray | None = None
+        self._epoch = -1
+        self._codes: dict[str, np.ndarray] = {}
+        self._cardinality: dict[str, int] = {}
+        self._cov: np.ndarray | None = None
+        self.refresh()
+
+    # --------------------------------------------------------------- syncing
+    @property
+    def data(self) -> Dataset:
+        return self._data
+
+    @property
+    def n_rows(self) -> int:
+        self.refresh()
+        return self._n
+
+    @property
+    def epoch(self) -> int:
+        """Data epoch these statistics are synchronised with."""
+        self.refresh()
+        return self._epoch
+
+    def refresh(self) -> None:
+        """Fold rows appended since the last sync into the running sums."""
+        if self._epoch == self._data.data_epoch and self._n == self._data.n_rows:
+            return
+        values = self._data.values
+        if self._data.n_rows < self._n:
+            # Rows can only be appended in place; anything else means the
+            # dataset was rebuilt underneath us — start over.
+            self._n = 0
+            self._sum[:] = 0.0
+            self._cross[:] = 0.0
+            self._shift = None
+        new = values[self._n:]
+        if len(new):
+            if self._shift is None:
+                self._shift = new[0].copy()
+            shifted = new - self._shift
+            self._sum += shifted.sum(axis=0)
+            self._cross += shifted.T @ shifted
+            self._n = self._data.n_rows
+        self._epoch = self._data.data_epoch
+        # Quantile bin edges move with the data, so codes cannot be updated
+        # incrementally; they are recomputed lazily, once per epoch.  The
+        # covariance matrix is likewise re-derived (cheaply, from the sums)
+        # on first use after an epoch bump.
+        self._codes.clear()
+        self._cardinality.clear()
+        self._cov = None
+
+    # ------------------------------------------------------------- moments
+    def means(self) -> np.ndarray:
+        self.refresh()
+        means = self._sum / max(self._n, 1)
+        if self._shift is not None:
+            means = means + self._shift
+        return means
+
+    def covariance(self) -> np.ndarray:
+        """Population covariance matrix derived from the running sums.
+
+        Cached per data epoch: within one discovery pass thousands of CI
+        tests share the same matrix.
+        """
+        self.refresh()
+        if self._cov is None:
+            n = max(self._n, 1)
+            mean = self._sum / n
+            self._cov = self._cross / n - np.outer(mean, mean)
+        return self._cov
+
+    def correlation(self, i: int, j: int) -> float:
+        cov = self.covariance()
+        return self._normalise(cov[i, j], cov[i, i], cov[j, j])
+
+    # ------------------------------------------- partial correlations (Schur)
+    def partial_correlations(self, targets: Sequence[int],
+                             conditioning: Sequence[int] = ()
+                             ) -> np.ndarray:
+        """Partial correlations of every ``targets`` pair given ``conditioning``.
+
+        Computed from the covariance matrix by one Schur complement:
+        ``S = C_TT - C_TZ C_ZZ^{-1} C_ZT`` is the conditional covariance of
+        the target block, and normalising its off-diagonal entries yields the
+        partial correlations — the same quantity as correlating the residuals
+        of per-column least-squares regressions on the conditioning block,
+        without touching the raw rows.
+        """
+        cov = self.covariance()
+        t = list(targets)
+        block = cov[np.ix_(t, t)]
+        z = list(conditioning)
+        if z:
+            czz = cov[np.ix_(z, z)]
+            ctz = cov[np.ix_(t, z)]
+            try:
+                solved = np.linalg.solve(czz, ctz.T)
+            except np.linalg.LinAlgError:
+                solved = np.linalg.pinv(czz) @ ctz.T
+            block = block - ctz @ solved
+        out = np.empty((len(t), len(t)))
+        diag = np.diag(block)
+        for a in range(len(t)):
+            out[a, a] = 1.0
+            for b in range(a + 1, len(t)):
+                r = self._normalise(block[a, b], diag[a], diag[b])
+                out[a, b] = out[b, a] = r
+        return out
+
+    def partial_correlation(self, i: int, j: int,
+                            conditioning: Sequence[int] = ()) -> float:
+        z = list(conditioning)
+        if len(z) <= 1:
+            # Scalar fast path for the dominant cases of the skeleton search
+            # (empty and singleton conditioning sets): plain arithmetic on
+            # cached covariance entries, no submatrix assembly or solve.
+            cov = self.covariance()
+            if not z:
+                return self._normalise(cov[i, j], cov[i, i], cov[j, j])
+            k = z[0]
+            ckk = cov[k, k]
+            if ckk < _VAR_EPS:
+                return self._normalise(cov[i, j], cov[i, i], cov[j, j])
+            s_ij = cov[i, j] - cov[i, k] * cov[j, k] / ckk
+            s_ii = cov[i, i] - cov[i, k] ** 2 / ckk
+            s_jj = cov[j, j] - cov[j, k] ** 2 / ckk
+            return self._normalise(s_ij, s_ii, s_jj)
+        return float(self.partial_correlations([i, j], z)[0, 1])
+
+    @staticmethod
+    def _normalise(cov_ij: float, var_i: float, var_j: float) -> float:
+        if var_i < _VAR_EPS or var_j < _VAR_EPS:
+            return 0.0
+        r = cov_ij / math.sqrt(var_i * var_j)
+        if math.isnan(r):
+            return 0.0
+        return max(-_CORR_CLAMP, min(_CORR_CLAMP, r))
+
+    # ----------------------------------------------------- discrete summaries
+    def codes(self, column: str, bins: int = 8) -> np.ndarray:
+        """Discretization codes for one column, cached per data epoch."""
+        self.refresh()
+        key = f"{column}#{bins}"
+        if key not in self._codes:
+            self._codes[key] = discretize_column(
+                self._data.column(column), bins=bins,
+                already_discrete=self._data.is_discrete(column))
+        return self._codes[key]
+
+    def cardinality(self, column: str) -> int:
+        """Number of distinct values in a column, cached per data epoch."""
+        self.refresh()
+        if column not in self._cardinality:
+            self._cardinality[column] = int(
+                np.unique(self._data.column(column)).size)
+        return self._cardinality[column]

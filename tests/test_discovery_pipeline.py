@@ -41,15 +41,21 @@ def test_objectives_are_sinks(cache_model):
 def test_incremental_update_appends_history(cache_system, cache_model):
     learner = CausalModelLearner(cache_system.constraints(),
                                  max_condition_size=1)
-    base = learner.learn(cache_model.data)
+    base = learner.learn(cache_model.data.subset(cache_model.data.columns))
+    base_samples = base.n_samples
     rng = np.random.default_rng(99)
     new_rows = [m.as_row() for m in
                 cache_system.measure_many(
                     cache_system.space.sample_configurations(10, rng),
                     rng=rng)]
     updated = learner.update(base, new_rows)
-    assert updated.n_samples == base.n_samples + 10
+    assert updated.n_samples == base_samples + 10
+    assert updated.incremental
+    # The incremental path grows the dataset in place, so the previous
+    # model handle shares the appended data.
+    assert updated.data is base.data
     assert len(updated.history) == len(base.history) + 1
+    assert updated.history[-1]["incremental"] == 1.0
 
 
 def test_update_with_no_rows_is_identity(cache_system, cache_model):
