@@ -10,11 +10,23 @@ from a single run.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def campaign_workers() -> int:
+    """Worker-pool size for parallel campaign benchmarks.
+
+    Campaign cells are dominated by (simulated) measurement latency rather
+    than CPU, so the default over-subscribes the cores; override with the
+    ``CAMPAIGN_WORKERS`` environment variable.
+    """
+    return max(int(os.environ.get("CAMPAIGN_WORKERS", "8")), 1)
 
 
 @pytest.fixture(scope="session")

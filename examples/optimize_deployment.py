@@ -2,51 +2,63 @@
 
 The scenario mirrors Fig. 15: find configurations of the Xception image
 recognition system (on a Jetson TX2) that trade off inference latency against
-energy.  We run Unicorn's causal optimizer and the SMAC / PESMO-style
-baselines under the same measurement budget and report the best
-configurations and the Pareto front.
+energy.  The single-objective Unicorn-vs-SMAC comparison runs as a campaign
+grid (one cell per system × objective) through the parallel campaign runner —
+pass ``--parallel`` to overlap the cells over a process pool; the results are
+identical either way.  The multi-objective comparison against the PESMO-style
+baseline reports the best configurations and the Pareto front.
 
-Run with:  python examples/optimize_deployment.py
+Run with:  python examples/optimize_deployment.py [--parallel]
+                                                  [--max-workers N]
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro import get_system
 from repro.baselines.pesmo import PESMOOptimizer
-from repro.baselines.smac import SMACOptimizer
 from repro.core.optimizer import UnicornOptimizer
 from repro.core.unicorn import UnicornConfig
+from repro.evaluation import run_optimization_campaign
 from repro.evaluation.relevant import relevant_options_for
 
 
 BUDGET = 40
 SEED = 2
 
+#: The single-objective campaign grid: (system, hardware, objective) cells.
+SCENARIOS = (
+    ("xception", "TX2", "InferenceTime"),
+    ("x264", "TX2", "EncodingTime"),
+)
+
 
 def main() -> None:
-    relevant = relevant_options_for("xception")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--parallel", action="store_true",
+                        help="run the campaign cells over a process pool")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="worker-pool size for --parallel")
+    args = parser.parse_args()
 
     # --------------------------------------------------- single objective
-    print(f"Single-objective latency optimization (budget {BUDGET})…")
-    unicorn = UnicornOptimizer(
-        get_system("xception", hardware="TX2"),
-        UnicornConfig(initial_samples=15, budget=BUDGET, seed=SEED,
-                      relevant_options=relevant))
-    unicorn_result = unicorn.optimize(objectives=["InferenceTime"])
-
-    smac = SMACOptimizer(get_system("xception", hardware="TX2"),
-                         budget=BUDGET, initial_samples=15, seed=SEED,
-                         relevant_options=relevant)
-    smac_result = smac.optimize("InferenceTime")
-
-    print(f"  Unicorn best latency: "
-          f"{unicorn_result.best_objectives['InferenceTime']:.1f}s "
-          f"after {unicorn_result.samples_used} measurements")
-    print(f"  SMAC    best latency: "
-          f"{smac_result.best_objectives['InferenceTime']:.1f}s "
-          f"after {smac_result.samples_used} measurements\n")
+    mode = "parallel" if args.parallel else "serial"
+    print(f"Single-objective optimization campaign (budget {BUDGET}, "
+          f"{mode}, {len(SCENARIOS)} cells)…")
+    rows = run_optimization_campaign(SCENARIOS, root_seed=SEED,
+                                     parallel=args.parallel,
+                                     max_workers=args.max_workers,
+                                     budget=BUDGET, initial_samples=15)
+    for row in rows:
+        print(f"  {row['system']:<9} {row['objective']:<14} "
+              f"Unicorn best: {row['unicorn_best']:7.1f}   "
+              f"SMAC best: {row['smac_best']:7.1f}   "
+              f"({row['unicorn_samples']} measurements each)")
+    print()
 
     # ----------------------------------------------------- multi objective
+    relevant = relevant_options_for("xception")
     print("Multi-objective latency/energy optimization…")
     unicorn_mo = UnicornOptimizer(
         get_system("xception", hardware="TX2"),

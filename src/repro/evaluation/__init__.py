@@ -14,35 +14,94 @@ Each module corresponds to one family of experiments in the paper:
 
 Runners return plain dictionaries / dataclasses so benchmarks can both assert
 on them and print paper-style rows.
+
+Every experiment family also expresses its grid as **campaign cells**
+(:mod:`repro.evaluation.runner`): ``*_cells`` builders enumerate the grid,
+:class:`~repro.evaluation.runner.ParallelRunner` executes it serially or
+over a process pool with per-cell seeds derived from one root
+:class:`numpy.random.SeedSequence` tree (serial and parallel runs are
+bit-identical), and the :class:`~repro.evaluation.store.ArtifactStore`
+makes interrupted campaigns resumable.
 """
 
 from repro.evaluation.relevant import relevant_options_for
-from repro.evaluation.debugging import DebuggingComparison, run_debugging_comparison
+from repro.evaluation.runner import (
+    CampaignCell,
+    CampaignReport,
+    CellOutcome,
+    ParallelRunner,
+    cell_kinds,
+    derive_cell_seeds,
+    register_cell_kind,
+    run_campaign,
+)
+from repro.evaluation.store import ArtifactStore, canonical_json, content_hash
+from repro.evaluation.debugging import (
+    DebuggingComparison,
+    debugging_campaign_cells,
+    run_debugging_campaign,
+    run_debugging_comparison,
+)
 from repro.evaluation.optimization import (
+    optimization_campaign_cells,
     run_multi_objective_comparison,
+    run_optimization_campaign,
     run_single_objective_comparison,
 )
 from repro.evaluation.transferability import (
     run_hardware_transfer,
     run_stability_analysis,
+    run_transfer_campaign,
     run_workload_transfer,
+    transfer_campaign_cells,
 )
-from repro.evaluation.scalability import run_scalability_scenario
+from repro.evaluation.scalability import (
+    run_scalability_campaign,
+    run_scalability_scenario,
+    scalability_campaign_cells,
+)
 from repro.evaluation.case_study import run_case_study
-from repro.evaluation.fault_campaign import run_fault_campaign
+from repro.evaluation.fault_campaign import (
+    FaultCampaignReport,
+    fault_campaign_cells,
+    run_fault_campaign,
+)
 from repro.evaluation.tables import format_table
 
 __all__ = [
     "relevant_options_for",
+    # campaign orchestration
+    "CampaignCell",
+    "CampaignReport",
+    "CellOutcome",
+    "ParallelRunner",
+    "ArtifactStore",
+    "canonical_json",
+    "content_hash",
+    "cell_kinds",
+    "derive_cell_seeds",
+    "register_cell_kind",
+    "run_campaign",
+    # experiment families
     "DebuggingComparison",
     "run_debugging_comparison",
+    "debugging_campaign_cells",
+    "run_debugging_campaign",
     "run_single_objective_comparison",
     "run_multi_objective_comparison",
+    "optimization_campaign_cells",
+    "run_optimization_campaign",
     "run_hardware_transfer",
     "run_workload_transfer",
     "run_stability_analysis",
+    "transfer_campaign_cells",
+    "run_transfer_campaign",
     "run_scalability_scenario",
+    "scalability_campaign_cells",
+    "run_scalability_campaign",
     "run_case_study",
+    "FaultCampaignReport",
+    "fault_campaign_cells",
     "run_fault_campaign",
     "format_table",
 ]

@@ -10,7 +10,7 @@ iterations and the final Pareto fronts (Fig. 15c/d).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -19,6 +19,8 @@ from repro.baselines.smac import SMACOptimizer
 from repro.core.optimizer import OptimizationResult, UnicornOptimizer
 from repro.core.unicorn import UnicornConfig
 from repro.evaluation.relevant import relevant_options_for
+from repro.evaluation.runner import CampaignCell, register_cell_kind, run_campaign
+from repro.evaluation.store import ArtifactStore
 from repro.metrics.optimization import hypervolume_error, pareto_front
 from repro.systems.registry import get_system
 
@@ -76,6 +78,50 @@ def run_single_objective_comparison(system_name: str, hardware: str,
     return SingleObjectiveComparison(system=system_name, objective=objective,
                                      unicorn=unicorn_result,
                                      smac=smac_result)
+
+
+OPTIMIZATION_CELL = "single_objective_optimization"
+
+
+@register_cell_kind(OPTIMIZATION_CELL)
+def _single_objective_cell(spec: Mapping, seed: int) -> dict:
+    """One campaign cell: Unicorn vs SMAC on one (system, objective) pair."""
+    comparison = run_single_objective_comparison(
+        spec["system"], spec["hardware"], spec["objective"],
+        budget=int(spec.get("budget", 60)),
+        initial_samples=int(spec.get("initial_samples", 20)), seed=seed)
+    return {
+        "system": comparison.system,
+        "hardware": spec["hardware"],
+        "objective": comparison.objective,
+        "unicorn_best": comparison.unicorn_best(),
+        "smac_best": comparison.smac_best(),
+        "unicorn_samples": comparison.unicorn.samples_used,
+        "smac_samples": comparison.smac.samples_used,
+    }
+
+
+def optimization_campaign_cells(scenarios: Sequence[tuple[str, str, str]],
+                                budget: int = 60,
+                                initial_samples: int = 20
+                                ) -> list[CampaignCell]:
+    """One cell per ``(system, hardware, objective)`` scenario."""
+    return [CampaignCell(kind=OPTIMIZATION_CELL, spec={
+        "system": system, "hardware": hardware, "objective": objective,
+        "budget": int(budget), "initial_samples": int(initial_samples),
+    }) for system, hardware, objective in scenarios]
+
+
+def run_optimization_campaign(scenarios: Sequence[tuple[str, str, str]],
+                              root_seed: int = 0, parallel: bool = False,
+                              max_workers: int | None = None,
+                              store: ArtifactStore | None = None,
+                              **cell_kwargs) -> list[dict]:
+    """Run the Fig. 15a/b scenario grid through the campaign runner."""
+    cells = optimization_campaign_cells(scenarios, **cell_kwargs)
+    campaign = run_campaign(cells, root_seed=root_seed, parallel=parallel,
+                            max_workers=max_workers, store=store)
+    return campaign.results()
 
 
 def _minimised_points(result: OptimizationResult,

@@ -191,6 +191,26 @@ class MixedGraph:
         return out
 
     # ------------------------------------------------------------ conversion
+    def to_dict(self) -> dict:
+        """Plain-JSON form: nodes plus ``[u, v, mark_u, mark_v]`` edges.
+
+        Edges are emitted in the canonical order of :meth:`edges` and marks
+        as their single-character values, so equal graphs serialize to equal
+        documents — the golden-graph regression fixtures rely on this.
+        """
+        return {
+            "nodes": list(self._nodes),
+            "edges": [[e.u, e.v, e.mark_u.value, e.mark_v.value]
+                      for e in self.edges()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MixedGraph":
+        graph = cls(payload["nodes"])
+        for u, v, mark_u, mark_v in payload["edges"]:
+            graph.add_edge(u, v, Mark(mark_u), Mark(mark_v))
+        return graph
+
     def undetermined_edges(self) -> list[Edge]:
         """Edges with at least one circle mark (still ambiguous)."""
         return [e for e in self.edges() if e.is_undetermined()]

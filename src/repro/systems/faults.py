@@ -42,6 +42,26 @@ class Fault:
     def is_multi_objective(self) -> bool:
         return len(self.objectives) > 1
 
+    def to_dict(self) -> dict:
+        """Plain-JSON form (campaign artifact store, golden fixtures)."""
+        return {
+            "system": self.system,
+            "environment": self.environment,
+            "configuration": [[k, v] for k, v in self.configuration],
+            "objectives": list(self.objectives),
+            "measured": [[k, v] for k, v in self.measured],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Fault":
+        return cls(
+            system=payload["system"],
+            environment=payload["environment"],
+            configuration=tuple((k, float(v))
+                                for k, v in payload["configuration"]),
+            objectives=tuple(payload["objectives"]),
+            measured=tuple((k, float(v)) for k, v in payload["measured"]))
+
 
 @dataclass
 class FaultCatalogue:
@@ -76,6 +96,24 @@ class FaultCatalogue:
 
     def __len__(self) -> int:
         return len(self.faults)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (campaign artifact store)."""
+        return {
+            "system": self.system,
+            "environment": self.environment,
+            "thresholds": dict(self.thresholds),
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FaultCatalogue":
+        return cls(
+            system=payload["system"],
+            environment=payload["environment"],
+            thresholds={k: float(v)
+                        for k, v in payload["thresholds"].items()},
+            faults=[Fault.from_dict(f) for f in payload["faults"]])
 
 
 def _tail_thresholds(measurements: Sequence[Measurement],

@@ -1,0 +1,147 @@
+"""Golden-graph regression tests for the discovery pipeline.
+
+Two synthetic SCMs with known-good FCI output are frozen as fixtures under
+``tests/fixtures/``; any unintended drift in the learned skeleton or the
+orientation marks (SHD > 0 against the fixture) fails the suite.  The data,
+the learner configuration and the seeds are all pinned, so a failure means
+the discovery pipeline's behaviour changed — if the change is intentional,
+regenerate the fixtures with::
+
+    PYTHONPATH=src python tests/test_golden_graphs.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.discovery.pipeline import CausalModelLearner
+from repro.graph.distances import structural_hamming_distance
+from repro.graph.mixed_graph import MixedGraph
+from repro.scm.mechanisms import ClippedMechanism, LinearMechanism
+from repro.scm.noise import GaussianNoise
+from repro.systems.base import ConfigurableSystem, Environment
+from repro.systems.cache_example import make_cache_example
+from repro.systems.hardware import JETSON_TX2
+from repro.systems.options import ConfigurationSpace, NumericOption
+from repro.systems.workloads import Workload
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def make_pipeline_scm_system() -> ConfigurableSystem:
+    """Second synthetic SCM: a processing-pipeline mediation structure.
+
+    ``Threads`` and ``BufferSize`` drive the observable ``QueueLength``
+    event, which mediates their effect on ``Latency``; ``Threads`` also has
+    a direct edge into ``Latency``.  Effects are strong relative to the
+    noise so the golden graph sits far from the CI significance threshold.
+    """
+    def build_scm(environment: Environment):
+        from repro.scm.model import StructuralCausalModel
+
+        queue_length = ClippedMechanism(
+            LinearMechanism({"Threads": -6.0, "BufferSize": 0.9},
+                            intercept=60.0),
+            lower=0.0)
+        latency = ClippedMechanism(
+            LinearMechanism({"QueueLength": 2.5, "Threads": -4.0},
+                            intercept=120.0),
+            lower=1.0)
+        return StructuralCausalModel(
+            exogenous={
+                "Threads": (1.0, 2.0, 4.0, 8.0),
+                "BufferSize": (8.0, 16.0, 32.0, 64.0),
+            },
+            mechanisms={"QueueLength": queue_length, "Latency": latency},
+            noise={
+                "QueueLength": GaussianNoise(1.5),
+                "Latency": GaussianNoise(3.0),
+            })
+
+    space = ConfigurationSpace([
+        NumericOption("Threads", (1, 2, 4, 8), layer="software", default=2),
+        NumericOption("BufferSize", (8, 16, 32, 64), layer="software",
+                      default=16),
+    ])
+    environment = Environment(
+        hardware=JETSON_TX2,
+        workload=Workload(name="pipeline-trace", size=1.0, work_scale=1.0))
+    return ConfigurableSystem(
+        name="pipeline_scm", space=space, events=["QueueLength"],
+        objectives={"Latency": "minimize"}, scm_factory=build_scm,
+        environment=environment, measurement_cost_seconds=5.0, seed=13)
+
+
+#: Fixture name -> (system factory, n_samples, data seed, learner kwargs).
+SCENARIOS = {
+    "cache_scm": (make_cache_example, 300, 7,
+                  {"max_condition_size": 2, "seed": 0}),
+    "pipeline_scm": (make_pipeline_scm_system, 400, 11,
+                     {"max_condition_size": 2, "seed": 0}),
+}
+
+
+def _learn_graph(name: str) -> MixedGraph:
+    factory, n_samples, seed, learner_kwargs = SCENARIOS[name]
+    system = factory()
+    _, data = system.random_dataset(n_samples, np.random.default_rng(seed))
+    learner = CausalModelLearner(system.constraints(), **learner_kwargs)
+    return learner.learn(data).graph
+
+
+def _fixture_path(name: str) -> Path:
+    return FIXTURES / f"golden_graph_{name}.json"
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_fci_output_matches_golden_fixture(name):
+    fixture = json.loads(_fixture_path(name).read_text())
+    learned = _learn_graph(name)
+    golden = MixedGraph.from_dict(fixture["graph"])
+
+    assert sorted(learned.nodes) == sorted(golden.nodes)
+    # SHD counts both adjacency drift (skeleton) and endpoint-mark drift
+    # (orientation); the golden contract is that neither moves at all.
+    assert structural_hamming_distance(learned, golden) == 0, (
+        f"discovery drift against {name} fixture:\n"
+        f"  learned: {learned.to_dict()['edges']}\n"
+        f"  golden : {golden.to_dict()['edges']}")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_fixture_round_trips(name):
+    fixture = json.loads(_fixture_path(name).read_text())
+    graph = MixedGraph.from_dict(fixture["graph"])
+    assert graph.to_dict() == fixture["graph"]
+
+
+def _regenerate() -> None:
+    FIXTURES.mkdir(exist_ok=True)
+    for name, (factory, n_samples, seed, learner_kwargs) in SCENARIOS.items():
+        graph = _learn_graph(name)
+        payload = {
+            "description": (
+                f"Known-good FCI output for the {name} synthetic SCM; "
+                "regenerate via tests/test_golden_graphs.py --regenerate"),
+            "system": factory().name,
+            "n_samples": n_samples,
+            "data_seed": seed,
+            "learner": learner_kwargs,
+            "graph": graph.to_dict(),
+        }
+        path = _fixture_path(name)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} ({len(payload['graph']['edges'])} edges)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
