@@ -15,7 +15,25 @@ from pathlib import Path
 
 import pytest
 
-RESULTS_DIR = Path(__file__).parent / "results"
+BENCHMARKS_DIR = Path(__file__).parent
+RESULTS_DIR = BENCHMARKS_DIR / "results"
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every test under benchmarks/ with the ``benchmark`` marker.
+
+    This lets the CI smoke job (and developers) deselect the whole paper
+    benchmark suite with ``pytest -m "not benchmark"`` without duplicating
+    markers in each file.
+    """
+    for item in items:
+        try:
+            in_benchmarks = Path(str(item.fspath)).resolve().is_relative_to(
+                BENCHMARKS_DIR.resolve())
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.benchmark)
 
 
 @pytest.fixture(scope="session")

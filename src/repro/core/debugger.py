@@ -7,6 +7,13 @@ the best candidate, update the model, and repeat until the fault is fixed or
 the budget is exhausted.  The result records the root causes, the recommended
 repair, per-objective gains and the resources spent — everything Table 2 and
 Fig. 14 report.
+
+The per-iteration repair scan is batched: the engine enumerates the candidate
+grid once and scores every candidate in a single vectorized counterfactual
+call (``UnicornConfig.batched_queries=False`` pins the loop to the scalar
+reference path).  The ranking the walk below consumes is deterministic
+(:func:`repro.inference.repairs.repair_sort_key`), so scalar and batched runs
+propose the same measurements.
 """
 
 from __future__ import annotations

@@ -91,18 +91,21 @@ class UnicornOptimizer:
         stall = 0
         while self.unicorn.remaining_budget(state) > 0:
             weights = self._scalarisation_weights(objective_names, weight_rng)
+            # One batched repair scan: the candidate grid is enumerated once
+            # and every candidate's counterfactual objectives are scored in
+            # a single vectorized call inside the engine.
             repair_set = engine.repair_set(best_config, best_objectives,
                                            directions)
             candidate = None
             best_predicted = -np.inf
-            for repair in repair_set.top(10):
-                predicted = repair.predicted_objectives()
-                score = self._scalarised_improvement(
-                    predicted, best_objectives, directions, weights)
-                if score > best_predicted:
-                    best_predicted = score
-                    candidate = dict(best_config)
-                    candidate.update(repair.as_dict())
+            top = repair_set.top(10)
+            if top:
+                scores = self._scalarised_improvements(
+                    top, best_objectives, directions, weights)
+                index = int(np.argmax(scores))
+                best_predicted = float(scores[index])
+                candidate = dict(best_config)
+                candidate.update(top[index].as_dict())
             if candidate is None or best_predicted <= 0:
                 candidate = self.unicorn.propose_exploration(state, best_config)
 
@@ -180,6 +183,18 @@ class UnicornOptimizer:
             delta = (baseline - value) if direction == "minimize" else (value - baseline)
             total += weights.get(objective, 1.0) * delta / scale
         return total
+
+    @classmethod
+    def _scalarised_improvements(cls, repairs: Sequence,
+                                 incumbent: Mapping[str, float],
+                                 directions: Mapping[str, str],
+                                 weights: Mapping[str, float]) -> np.ndarray:
+        """Scalarised predicted improvement of each candidate repair."""
+        return np.array([
+            cls._scalarised_improvement(repair.predicted_objectives(),
+                                        incumbent, directions, weights)
+            for repair in repairs
+        ], dtype=float)
 
     @staticmethod
     def _dominates_or_improves(measured: Mapping[str, float],

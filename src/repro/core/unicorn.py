@@ -52,6 +52,11 @@ class UnicornConfig:
     #: exploration step, with exploitation happening through the repair
     #: estimates of Stage V.
     exploration_fraction: float = 0.5
+    #: evaluate interventional/counterfactual queries (ACE sweeps, repair
+    #: scans, satisfaction probabilities) through the vectorized
+    #: ``BatchedFittedModel``; set False to pin the engine to the scalar
+    #: reference path (the differential-testing oracle).
+    batched_queries: bool = True
     seed: int = 0
     relevant_options: Sequence[str] | None = None
     relevant_events: Sequence[str] | None = None
@@ -188,14 +193,16 @@ class Unicorn:
                 state.engine = CausalInferenceEngine(
                     state.learned, self._domains,
                     top_k_paths=self.config.top_k_paths,
-                    max_contexts=self.config.max_contexts)
+                    max_contexts=self.config.max_contexts,
+                    batched=self.config.batched_queries)
         else:
             data = self.dataset_from_measurements(state.measurements)
             state.learned = self._learner.learn(data)
             state.engine = CausalInferenceEngine(
                 state.learned, self._domains,
                 top_k_paths=self.config.top_k_paths,
-                max_contexts=self.config.max_contexts)
+                max_contexts=self.config.max_contexts,
+                batched=self.config.batched_queries)
         state.relearn_seconds.append(time.perf_counter() - started)
         return state.engine
 

@@ -13,7 +13,16 @@ from repro.inference.effects import (
     path_average_causal_effect,
 )
 from repro.inference.paths import CausalPath, extract_ranked_paths
-from repro.inference.repairs import Repair, RepairSet, generate_repair_set
+from repro.inference.query_plan import QueryPlan
+from repro.inference.repairs import (
+    Repair,
+    RepairSet,
+    enumerate_repair_candidates,
+    generate_repair_set,
+    repair_sort_key,
+    score_repair_candidates,
+    score_repair_candidates_batched,
+)
 from repro.inference.queries import CausalQuery, PerformanceQuery, QueryKind
 from repro.inference.engine import CausalInferenceEngine
 
@@ -23,9 +32,14 @@ __all__ = [
     "path_average_causal_effect",
     "CausalPath",
     "extract_ranked_paths",
+    "QueryPlan",
     "Repair",
     "RepairSet",
+    "enumerate_repair_candidates",
     "generate_repair_set",
+    "repair_sort_key",
+    "score_repair_candidates",
+    "score_repair_candidates_batched",
     "CausalQuery",
     "PerformanceQuery",
     "QueryKind",

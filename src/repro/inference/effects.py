@@ -44,16 +44,27 @@ def _permissible_values(model: FittedPerformanceModel, variable: str,
 def average_causal_effect(model: FittedPerformanceModel, target: str,
                           treatment: str,
                           domains: Mapping[str, Sequence[float]] | None = None,
-                          max_contexts: int = 100) -> float:
-    """ACE of ``treatment`` on ``target`` averaged over successive value pairs."""
+                          max_contexts: int = 100,
+                          evaluator=None) -> float:
+    """ACE of ``treatment`` on ``target`` averaged over successive value pairs.
+
+    When a :class:`repro.scm.batched.BatchedFittedModel` is passed as
+    ``evaluator`` the per-value interventional expectations are computed in
+    one batched sweep; the scalar path is the reference oracle.
+    """
     values = _permissible_values(model, treatment, domains)
     if len(values) < 2:
         return 0.0
-    expectations = [
-        model.interventional_expectation(target, {treatment: value},
-                                         max_contexts=max_contexts)
-        for value in values
-    ]
+    if evaluator is not None:
+        expectations = evaluator.interventional_expectation_batch(
+            target, [{treatment: value} for value in values],
+            max_contexts=max_contexts)
+    else:
+        expectations = [
+            model.interventional_expectation(target, {treatment: value},
+                                             max_contexts=max_contexts)
+            for value in values
+        ]
     diffs = [expectations[i + 1] - expectations[i]
              for i in range(len(expectations) - 1)]
     return float(np.mean(diffs))
@@ -62,7 +73,8 @@ def average_causal_effect(model: FittedPerformanceModel, target: str,
 def path_average_causal_effect(model: FittedPerformanceModel,
                                path: Sequence[str],
                                domains: Mapping[str, Sequence[float]] | None = None,
-                               max_contexts: int = 100) -> float:
+                               max_contexts: int = 100,
+                               evaluator=None) -> float:
     """Average of |ACE| over consecutive edges of a causal path (Eq. 1)."""
     if len(path) < 2:
         return 0.0
@@ -71,7 +83,8 @@ def path_average_causal_effect(model: FittedPerformanceModel,
     for cause, effect in zip(path[:-1], path[1:]):
         total += abs(average_causal_effect(model, effect, cause,
                                            domains=domains,
-                                           max_contexts=max_contexts))
+                                           max_contexts=max_contexts,
+                                           evaluator=evaluator))
         count += 1
     return total / count
 
@@ -79,7 +92,8 @@ def path_average_causal_effect(model: FittedPerformanceModel,
 def option_effects_on_objective(model: FittedPerformanceModel,
                                 objective: str, options: Sequence[str],
                                 domains: Mapping[str, Sequence[float]] | None = None,
-                                max_contexts: int = 100) -> dict[str, float]:
+                                max_contexts: int = 100,
+                                evaluator=None) -> dict[str, float]:
     """ACE of each option on an objective (absolute value).
 
     Used both as the sampling heuristic of Stage III (options are perturbed
@@ -90,5 +104,5 @@ def option_effects_on_objective(model: FittedPerformanceModel,
     for option in options:
         effects[option] = abs(average_causal_effect(
             model, objective, option, domains=domains,
-            max_contexts=max_contexts))
+            max_contexts=max_contexts, evaluator=evaluator))
     return effects

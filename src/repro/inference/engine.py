@@ -30,7 +30,9 @@ from repro.inference.queries import (
     QueryKind,
     translate,
 )
+from repro.inference.query_plan import QueryPlan
 from repro.inference.repairs import RepairSet, generate_repair_set
+from repro.scm.batched import BatchedFittedModel
 from repro.scm.fitting import FittedPerformanceModel, fit_structural_equations
 
 
@@ -65,7 +67,7 @@ class CausalInferenceEngine:
     def __init__(self, learned: LearnedModel,
                  domains: Mapping[str, Sequence[float]],
                  top_k_paths: int = 5, max_contexts: int = 60,
-                 max_ranking_age: int = 5) -> None:
+                 max_ranking_age: int = 5, batched: bool = True) -> None:
         self._learned = learned
         self._domains = {k: tuple(float(x) for x in v)
                          for k, v in domains.items()}
@@ -77,6 +79,12 @@ class CausalInferenceEngine:
         self._max_ranking_age = max_ranking_age
         self._fitted: FittedPerformanceModel = fit_structural_equations(
             learned.graph, learned.data)
+        #: route interventional / counterfactual queries through the batched
+        #: evaluator; ``batched=False`` keeps everything on the scalar
+        #: reference path (the differential-testing oracle).
+        self._use_batched = bool(batched)
+        self._plan = QueryPlan(self._fitted.dag, graph=learned.graph)
+        self._batched = BatchedFittedModel(self._fitted, plan=self._plan)
         self._path_cache: dict[tuple[str, ...], list[CausalPath]] = {}
         self._path_cache_age: dict[tuple[str, ...], int] = {}
 
@@ -100,6 +108,12 @@ class CausalInferenceEngine:
         changed_nodes = self._changed_edge_nodes(old_graph, learned.graph)
         self._learned = learned
         self._fitted = fit_structural_equations(learned.graph, learned.data)
+        # Structural memos (path enumeration, affected sets, candidate
+        # grids) survive a refresh exactly when no edge changed; the batched
+        # evaluator always rebinds to the refitted equations.
+        self._plan.rebind(self._fitted.dag, graph=learned.graph,
+                          structure_changed=bool(changed_nodes))
+        self._batched = BatchedFittedModel(self._fitted, plan=self._plan)
         for key in list(self._path_cache):
             age = self._path_cache_age.get(key, 0) + 1
             if age > self._max_ranking_age or (
@@ -156,12 +170,24 @@ class CausalInferenceEngine:
     def domains(self) -> dict[str, tuple[float, ...]]:
         return dict(self._domains)
 
+    @property
+    def query_plan(self) -> QueryPlan:
+        return self._plan
+
+    @property
+    def batched_evaluator(self) -> BatchedFittedModel:
+        return self._batched
+
+    def _evaluator(self) -> BatchedFittedModel | None:
+        return self._batched if self._use_batched else None
+
     # ------------------------------------------------------------- estimates
     def causal_effect(self, option: str, objective: str) -> float:
         """ACE of one option on one objective."""
         return average_causal_effect(self._fitted, objective, option,
                                      domains=self._domains,
-                                     max_contexts=self._max_contexts)
+                                     max_contexts=self._max_contexts,
+                                     evaluator=self._evaluator())
 
     def option_effects(self, objective: str,
                        options: Sequence[str] | None = None) -> dict[str, float]:
@@ -172,7 +198,7 @@ class CausalInferenceEngine:
                        and o in self._learned.data.columns]
         return option_effects_on_objective(
             self._fitted, objective, options, domains=self._domains,
-            max_contexts=self._max_contexts)
+            max_contexts=self._max_contexts, evaluator=self._evaluator())
 
     def ranked_paths(self, objectives: Sequence[str]) -> list[CausalPath]:
         """Top-K causal paths per objective, ranked by Path_ACE."""
@@ -181,7 +207,8 @@ class CausalInferenceEngine:
             self._path_cache[key] = extract_ranked_paths(
                 self._learned.graph, self._fitted, objectives,
                 self.constraints, domains=self._domains, top_k=self._top_k,
-                max_contexts=self._max_contexts)
+                max_contexts=self._max_contexts, plan=self._plan,
+                evaluator=self._evaluator())
             self._path_cache_age[key] = 0
         return self._path_cache[key]
 
@@ -190,10 +217,36 @@ class CausalInferenceEngine:
         """Conditional-expectation prediction of objectives for a config."""
         return self._fitted.predict(configuration, targets=list(objectives))
 
+    def predict_batch(self, configurations: Sequence[Mapping[str, float]],
+                      objectives: Sequence[str]) -> list[dict[str, float]]:
+        """Vectorized :meth:`predict` over a batch of configurations."""
+        if self._use_batched:
+            return self._batched.predict_batch(configurations,
+                                               targets=list(objectives))
+        return [self.predict(configuration, objectives)
+                for configuration in configurations]
+
     def interventional_expectation(self, objective: str,
                                    intervention: Mapping[str, float]) -> float:
+        if self._use_batched:
+            return float(self._batched.interventional_expectation_batch(
+                objective, [intervention],
+                max_contexts=self._max_contexts)[0])
         return self._fitted.interventional_expectation(
             objective, intervention, max_contexts=self._max_contexts)
+
+    def interventional_expectations_batch(
+            self, objective: str,
+            interventions: Sequence[Mapping[str, float]]) -> list[float]:
+        """``E[objective | do(...)]`` for a whole batch of interventions."""
+        interventions = list(interventions)
+        if self._use_batched:
+            values = self._batched.interventional_expectation_batch(
+                objective, interventions, max_contexts=self._max_contexts)
+            return [float(v) for v in values]
+        return [self._fitted.interventional_expectation(
+                    objective, intervention, max_contexts=self._max_contexts)
+                for intervention in interventions]
 
     def satisfaction_probability(self, constraint: QoSConstraint,
                                  intervention: Mapping[str, float]) -> float:
@@ -201,11 +254,19 @@ class CausalInferenceEngine:
 
         Estimated by applying the intervention to every observed context and
         counting the fraction of counterfactual outcomes that satisfy the QoS
-        constraint.
+        constraint.  On the batched path all contexts are replayed in one
+        vectorized counterfactual; the scalar loop is the reference.
         """
-        rows = self._fitted.data.rows()
-        if not rows:
+        n_rows = self._fitted.data.n_rows
+        if not n_rows:
             return 0.0
+        if self._use_batched:
+            outcomes = self._batched.counterfactual_rows_batch(
+                intervention, constraint.objective)
+            satisfied = sum(1 for value in outcomes
+                            if constraint.satisfied_by(float(value)))
+            return satisfied / n_rows
+        rows = self._fitted.data.rows()
         satisfied = 0
         for row in rows:
             outcome = self._fitted.counterfactual(row, intervention)
@@ -222,12 +283,32 @@ class CausalInferenceEngine:
     def repair_set(self, faulty_configuration: Mapping[str, float],
                    faulty_measurement: Mapping[str, float],
                    objectives: Mapping[str, str],
-                   max_repairs: int = 300) -> RepairSet:
+                   max_repairs: int = 300,
+                   batched: bool | None = None) -> RepairSet:
+        """Generate and rank the candidate repairs for a fault.
+
+        The candidate grid is built once (memoized on the query plan) and
+        scored in one batched counterfactual call; pass ``batched=False``
+        to force the scalar reference path, which must produce a
+        byte-identical ranking.
+        """
+        use_batched = self._use_batched if batched is None else batched
         paths = self.ranked_paths(list(objectives))
         return generate_repair_set(
             self._fitted, paths, self.constraints, self._domains,
             faulty_configuration, faulty_measurement, objectives,
-            max_repairs=max_repairs)
+            max_repairs=max_repairs,
+            evaluator=self._batched if use_batched else None,
+            plan=self._plan)
+
+    def repair_candidates_batch(self, faulty_configuration: Mapping[str, float],
+                                faulty_measurement: Mapping[str, float],
+                                objectives: Mapping[str, str],
+                                max_repairs: int = 300) -> RepairSet:
+        """Batched repair scan regardless of the engine-level default."""
+        return self.repair_set(faulty_configuration, faulty_measurement,
+                               objectives, max_repairs=max_repairs,
+                               batched=True)
 
     # ----------------------------------------------------------------- queries
     def answer(self, query: PerformanceQuery,

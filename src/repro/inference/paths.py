@@ -46,25 +46,33 @@ def extract_ranked_paths(graph: MixedGraph, model: FittedPerformanceModel,
                          constraints: StructuralConstraints,
                          domains: Mapping[str, Sequence[float]] | None = None,
                          top_k: int = 5,
-                         max_contexts: int = 60) -> list[CausalPath]:
+                         max_contexts: int = 60,
+                         plan=None, evaluator=None) -> list[CausalPath]:
     """Extract causal paths for every objective and keep the top-K by ACE.
 
     Paths that contain no configuration option are discarded (a repair must
     change at least one option); ranking uses the absolute path ACE so that
-    both strongly harmful and strongly beneficial paths surface.
+    both strongly harmful and strongly beneficial paths surface.  A
+    :class:`repro.inference.query_plan.QueryPlan` memoizes the raw path
+    enumeration across calls, and a batched evaluator vectorizes the
+    per-edge ACE sweeps; both default to the scalar reference path.
     """
     option_set = set(constraints.options())
     ranked: list[CausalPath] = []
     for objective in objectives:
         if not graph.has_node(objective):
             continue
-        raw_paths = backtrack_causal_paths(graph, objective)
+        if plan is not None:
+            raw_paths = plan.causal_paths(objective)
+        else:
+            raw_paths = backtrack_causal_paths(graph, objective)
         candidates: list[CausalPath] = []
         for nodes in raw_paths:
             if not any(node in option_set for node in nodes):
                 continue
             ace = path_average_causal_effect(model, nodes, domains=domains,
-                                             max_contexts=max_contexts)
+                                             max_contexts=max_contexts,
+                                             evaluator=evaluator)
             candidates.append(CausalPath(nodes=tuple(nodes),
                                          objective=objective, ace=ace))
         candidates.sort(key=lambda p: p.ace, reverse=True)

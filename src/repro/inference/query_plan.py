@@ -1,0 +1,107 @@
+"""Structural query planning for the causal inference engine.
+
+Answering a performance query repeats a lot of purely *structural* work that
+depends only on the causal graph, not on the data or the fitted equations:
+enumerating the causal paths into an objective, computing which variables an
+intervention can affect (the descendant closure used as the batched
+evaluator's propagation schedule), and enumerating the candidate repair grid
+for a fault.  During the active loop the graph changes rarely — most
+incremental refreshes refit the equations on grown data but leave the
+structure untouched — so this work is memoized per *graph version*.
+
+:class:`QueryPlan` extends :class:`repro.scm.batched.StructuralPlan` (the
+affected-set / propagation-schedule memo shared with the batched evaluators)
+with
+
+* a graph-version counter, bumped exactly when the engine's ``refresh``
+  observes changed edges (``_changed_edge_nodes`` non-empty), which drops
+  every structural memo;
+* memoized raw path enumeration per objective (the expensive backtracking
+  behind :func:`repro.inference.paths.extract_ranked_paths`);
+* a bounded memo for candidate repair grids keyed by the fault context.
+
+Answers must be byte-identical before and after a ``refresh`` that did not
+change the graph, and must reflect the new structure immediately when it
+did — ``tests/test_query_plan.py`` holds both properties.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+from repro.graph.dag import CausalDAG
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.paths import backtrack_causal_paths
+from repro.scm.batched import StructuralPlan
+
+#: candidate-grid memo entries kept before the memo is dropped wholesale.
+_MAX_CANDIDATE_ENTRIES = 64
+
+
+class QueryPlan(StructuralPlan):
+    """Graph-version-keyed memoization of structural query work."""
+
+    def __init__(self, dag: CausalDAG,
+                 graph: MixedGraph | None = None) -> None:
+        super().__init__(dag)
+        self._graph = graph
+        self._version = 0
+        self._raw_paths: dict[str, list[list[str]]] = {}
+        self._candidates: dict[Hashable, object] = {}
+
+    @property
+    def version(self) -> int:
+        """Bumped on every structural change; memo keys implicitly carry it
+        because a bump clears every cache."""
+        return self._version
+
+    @property
+    def graph(self) -> MixedGraph | None:
+        return self._graph
+
+    # -------------------------------------------------------------- refresh
+    def rebind(self, dag: CausalDAG, graph: MixedGraph | None = None,
+               structure_changed: bool = True) -> None:
+        """Point the plan at the refreshed model.
+
+        ``structure_changed`` is the engine's ``_changed_edge_nodes``
+        verdict: when False the memos stay (the graph is the same), when
+        True the version is bumped and every structural cache is dropped.
+        """
+        super().rebind(dag, structure_changed=structure_changed)
+        self._graph = graph
+        if structure_changed:
+            self._version += 1
+            self._raw_paths.clear()
+            self._candidates.clear()
+
+    # ---------------------------------------------------------------- paths
+    def causal_paths(self, objective: str) -> list[list[str]]:
+        """Raw (unranked) causal paths into ``objective``, memoized.
+
+        Returns a shallow copy so callers cannot mutate the memo entry.
+        """
+        cached = self._raw_paths.get(objective)
+        if cached is None:
+            if self._graph is None or not self._graph.has_node(objective):
+                cached = []
+            else:
+                cached = backtrack_causal_paths(self._graph, objective)
+            self._raw_paths[objective] = cached
+        return list(cached)
+
+    # ----------------------------------------------------------- candidates
+    def memoized_candidates(self, key: Hashable,
+                            builder: Callable[[], Sequence]) -> Sequence:
+        """Candidate repair grid for a fault context, memoized.
+
+        ``key`` must capture everything the grid depends on besides the
+        graph (path options, faulty values, caps); the memo is bounded and
+        cleared wholesale on overflow or structural change.  A shallow copy
+        is returned so callers cannot mutate the memo entry.
+        """
+        if key not in self._candidates:
+            if len(self._candidates) >= _MAX_CANDIDATE_ENTRIES:
+                self._candidates.clear()
+            self._candidates[key] = builder()
+        return list(self._candidates[key])

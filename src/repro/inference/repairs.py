@@ -51,16 +51,37 @@ class Repair:
         return [name for name, _ in self.changes]
 
 
+def repair_sort_key(repair: Repair) -> tuple:
+    """Deterministic ranking key for repairs.
+
+    Primary order is descending ICE then descending raw improvement; exact
+    ties are broken by the number of changed options (fewer first — the
+    less invasive repair wins) and then lexicographically by the changed
+    option names and values.  The tie-break makes the ranking a total order
+    on distinct repairs, so the scalar reference path and the batched path
+    produce byte-identical repair sets.
+    """
+    return (-repair.ice, -repair.improvement, len(repair.changes),
+            repair.changes)
+
+
 @dataclass
 class RepairSet:
     """All candidate repairs generated for a fault, ranked by ICE."""
 
     repairs: list[Repair] = field(default_factory=list)
 
+    @classmethod
+    def ranked(cls, repairs: "Sequence[Repair]") -> "RepairSet":
+        """Build a repair set sorted by :func:`repair_sort_key`."""
+        return cls(repairs=sorted(repairs, key=repair_sort_key))
+
     def best(self) -> Repair | None:
         return self.repairs[0] if self.repairs else None
 
     def top(self, k: int) -> list[Repair]:
+        """The ``k`` best repairs (the list is kept in deterministic rank
+        order, see :func:`repair_sort_key`)."""
         return self.repairs[:k]
 
     def __len__(self) -> int:
@@ -118,27 +139,36 @@ def individual_causal_effect(model: FittedPerformanceModel,
     return ice, improvement, predicted
 
 
-def generate_repair_set(model: FittedPerformanceModel,
-                        paths: Sequence[CausalPath],
-                        constraints: StructuralConstraints,
-                        domains: Mapping[str, Sequence[float]],
-                        faulty_configuration: Mapping[str, float],
-                        faulty_measurement: Mapping[str, float],
-                        objectives: Mapping[str, str],
-                        max_combined_options: int = 4,
-                        max_repairs: int = 300) -> RepairSet:
-    """Build and rank the repair set for a fault.
-
-    Single-option repairs enumerate every permissible value of every option on
-    a top path; combined repairs take the cartesian product over the (at most
-    ``max_combined_options``) highest-impact path options, capped at
-    ``max_repairs`` candidates in total.
-    """
+def _intervenable_path_options(paths: Sequence[CausalPath],
+                               constraints: StructuralConstraints
+                               ) -> list[str]:
+    """Intervenable options on the ranked paths, in first-appearance order."""
     path_options: list[str] = []
     for path in paths:
         for option in path.options_on_path(constraints):
             if option not in path_options and constraints.is_intervenable(option):
                 path_options.append(option)
+    return path_options
+
+
+def enumerate_repair_candidates(paths: Sequence[CausalPath],
+                                constraints: StructuralConstraints,
+                                domains: Mapping[str, Sequence[float]],
+                                faulty_configuration: Mapping[str, float],
+                                max_combined_options: int = 4,
+                                max_repairs: int = 300
+                                ) -> list[dict[str, float]]:
+    """Enumerate the candidate-repair grid for a fault.
+
+    Single-option repairs enumerate every permissible value of every option
+    on a top path; combined repairs take the cartesian product over the (at
+    most ``max_combined_options``) highest-impact path options, capped at
+    ``max_repairs`` candidates in total.  Enumeration is deterministic in
+    the path ranking and the domain order, so the grid can be built once
+    (and memoized by the :class:`~repro.inference.query_plan.QueryPlan`)
+    and scored by either the scalar or the batched evaluator.
+    """
+    path_options = _intervenable_path_options(paths, constraints)
 
     candidates: list[dict[str, float]] = []
     for option in path_options:
@@ -158,14 +188,114 @@ def generate_repair_set(model: FittedPerformanceModel,
                 candidates.append(change)
             if len(candidates) >= max_repairs:
                 break
+    return candidates[:max_repairs]
 
+
+def score_repair_candidates(model: FittedPerformanceModel,
+                            candidates: Sequence[Mapping[str, float]],
+                            faulty_configuration: Mapping[str, float],
+                            faulty_measurement: Mapping[str, float],
+                            objectives: Mapping[str, str]) -> list[Repair]:
+    """Score candidates one at a time — the scalar reference oracle."""
     repairs: list[Repair] = []
-    for change in candidates[:max_repairs]:
+    for change in candidates:
         ice, improvement, predicted = individual_causal_effect(
             model, faulty_configuration, faulty_measurement, change,
             objectives)
         repairs.append(Repair(changes=tuple(sorted(change.items())), ice=ice,
                               improvement=improvement,
                               predicted=tuple(sorted(predicted.items()))))
-    repairs.sort(key=lambda r: (r.ice, r.improvement), reverse=True)
-    return RepairSet(repairs=repairs)
+    return repairs
+
+
+def score_repair_candidates_batched(evaluator,
+                                    candidates: Sequence[Mapping[str, float]],
+                                    faulty_configuration: Mapping[str, float],
+                                    faulty_measurement: Mapping[str, float],
+                                    objectives: Mapping[str, str]
+                                    ) -> list[Repair]:
+    """Score the whole candidate grid in one batched counterfactual call.
+
+    ``evaluator`` is a :class:`repro.scm.batched.BatchedFittedModel`; the
+    residual abduction of the faulty observation happens once and every
+    candidate's counterfactual objectives come back as an ``(N, T)`` array.
+    The ICE arithmetic mirrors :func:`individual_causal_effect`.
+    """
+    candidates = list(candidates)
+    if not candidates:
+        return []
+    observation = dict(faulty_measurement)
+    observation.update({k: float(v) for k, v in faulty_configuration.items()})
+    targets = list(objectives)
+    if not targets:
+        return [Repair(changes=tuple(sorted(change.items())))
+                for change in candidates]
+    predicted = evaluator.counterfactual_targets_batch(
+        observation, candidates, targets,
+        fallbacks={o: float(faulty_measurement[o]) for o in targets})
+    fault = np.array([float(faulty_measurement[o]) for o in targets])
+    scale = np.maximum(np.abs(fault), 1e-9)
+    sign = np.array([1.0 if objectives[o] == "minimize" else -1.0
+                     for o in targets])
+    margins = sign * (fault - predicted) / scale
+    ice = np.tanh(4.0 * margins).mean(axis=1)
+    improvement = margins.mean(axis=1)
+    repairs: list[Repair] = []
+    for i, change in enumerate(candidates):
+        values = {o: float(predicted[i, t]) for t, o in enumerate(targets)}
+        repairs.append(Repair(changes=tuple(sorted(change.items())),
+                              ice=float(ice[i]),
+                              improvement=float(improvement[i]),
+                              predicted=tuple(sorted(values.items()))))
+    return repairs
+
+
+def generate_repair_set(model: FittedPerformanceModel,
+                        paths: Sequence[CausalPath],
+                        constraints: StructuralConstraints,
+                        domains: Mapping[str, Sequence[float]],
+                        faulty_configuration: Mapping[str, float],
+                        faulty_measurement: Mapping[str, float],
+                        objectives: Mapping[str, str],
+                        max_combined_options: int = 4,
+                        max_repairs: int = 300,
+                        evaluator=None, plan=None) -> RepairSet:
+    """Build and rank the repair set for a fault.
+
+    The candidate grid is enumerated once (memoized on ``plan`` when one is
+    given) and scored either by the batched ``evaluator`` or by the scalar
+    reference path; both rankings use the deterministic
+    :func:`repair_sort_key`, so they compare byte-identically.
+    """
+    def build() -> list[dict[str, float]]:
+        return enumerate_repair_candidates(
+            paths, constraints, domains, faulty_configuration,
+            max_combined_options=max_combined_options,
+            max_repairs=max_repairs)
+
+    if plan is not None:
+        # The grid is fully determined by the (ordered) intervenable path
+        # options with their domains, the faulty values and the caps — the
+        # key captures all of them, so changed constraints or domains can
+        # never replay a stale grid.
+        path_options = _intervenable_path_options(paths, constraints)
+        key = ("repair_grid",
+               tuple((option,
+                      tuple(float(v) for v in domains.get(option, ())))
+                     for option in path_options),
+               tuple(sorted((k, float(v))
+                            for k, v in faulty_configuration.items())),
+               max_combined_options, max_repairs)
+        candidates = plan.memoized_candidates(key, build)
+    else:
+        candidates = build()
+
+    if evaluator is not None:
+        repairs = score_repair_candidates_batched(
+            evaluator, candidates, faulty_configuration, faulty_measurement,
+            objectives)
+    else:
+        repairs = score_repair_candidates(
+            model, candidates, faulty_configuration, faulty_measurement,
+            objectives)
+    return RepairSet.ranked(repairs)

@@ -26,8 +26,18 @@ from repro.scm.mechanisms import (
 from repro.scm.noise import GaussianNoise, NoNoise, NoiseModel, UniformNoise
 from repro.scm.model import StructuralCausalModel
 from repro.scm.fitting import FittedPerformanceModel, fit_structural_equations
+from repro.scm.batched import (
+    BatchedFittedModel,
+    BatchedSCM,
+    StructuralPlan,
+    evaluate_mechanism_batch,
+)
 
 __all__ = [
+    "BatchedFittedModel",
+    "BatchedSCM",
+    "StructuralPlan",
+    "evaluate_mechanism_batch",
     "Mechanism",
     "LinearMechanism",
     "PolynomialMechanism",

@@ -1,0 +1,542 @@
+"""Vectorized batch evaluation of structural causal models.
+
+The active loop's inference time is dominated by interventional and
+counterfactual queries evaluated one candidate configuration at a time:
+``generate_repair_set`` scores hundreds of candidate repairs, ACE estimation
+sweeps every permissible value of every option, and satisfaction
+probabilities replay one intervention against every observed context.  Each
+scalar query walks the graph with python dicts and per-row design matrices.
+
+This module evaluates those queries in batch: N candidate configurations are
+propagated through the mechanisms (ground truth) or the fitted structural
+equations as ``(N,)``/``(N, R)`` numpy arrays in topological order, with the
+expensive per-query setup — noise abduction, residual abduction, affected-set
+computation — done once and reused across the whole batch.
+
+* :class:`BatchedSCM` wraps a ground-truth
+  :class:`~repro.scm.model.StructuralCausalModel` and vectorizes
+  ``intervene`` / ``abduct_noise`` / ``counterfactual`` /
+  ``interventional_expectation``.
+* :class:`BatchedFittedModel` wraps a fitted
+  :class:`~repro.scm.fitting.FittedPerformanceModel` and vectorizes
+  ``predict`` / ``interventional_expectation`` / ``counterfactual``, which is
+  what :class:`~repro.inference.engine.CausalInferenceEngine` queries on its
+  hot paths.
+
+The scalar methods on the wrapped models remain the *reference semantics*:
+``tests/test_batched_vs_scalar.py`` holds the batched evaluators to 1e-9
+equivalence against them, and the scalar path stays selectable
+(``batched_queries=False`` / ``batched=False``) as the differential oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.graph.dag import CausalDAG
+from repro.scm.fitting import FittedPerformanceModel
+from repro.scm.model import StructuralCausalModel
+
+
+def evaluate_mechanism_batch(mechanism, columns: Mapping[str, np.ndarray],
+                             n_rows: int) -> np.ndarray:
+    """Evaluate a mechanism over ``(n_rows,)`` parent columns.
+
+    Mechanisms that implement ``evaluate_batch`` (all built-ins) are
+    vectorized; anything else falls back to a per-row scalar loop, so custom
+    mechanisms stay correct at scalar speed.
+    """
+    batch = getattr(mechanism, "evaluate_batch", None)
+    if batch is not None:
+        return np.asarray(batch(columns, n_rows), dtype=float)
+    parents = mechanism.parents
+    return np.array([mechanism.evaluate({p: float(columns[p][i])
+                                         for p in parents})
+                     for i in range(n_rows)], dtype=float)
+
+
+def group_by_keyset(mappings: Sequence[Mapping[str, float]]
+                    ) -> list[tuple[tuple[str, ...], list[int]]]:
+    """Group mappings by their key set, preserving original indices.
+
+    Batch propagation needs a uniform control flow per group (the same
+    variables intervened/assigned for every row); candidate repair grids
+    produce only a handful of distinct key sets, so grouping keeps the
+    vectorization effective.  Groups are returned with sorted key tuples in
+    first-appearance order.
+    """
+    groups: dict[frozenset, list[int]] = {}
+    for i, mapping in enumerate(mappings):
+        groups.setdefault(frozenset(mapping), []).append(i)
+    return [(tuple(sorted(keys)), idx) for keys, idx in groups.items()]
+
+
+class StructuralPlan:
+    """Memoized structural bookkeeping for batch propagation over one DAG.
+
+    Caches, per set of intervened variables, the *affected set* (the
+    intervened variables plus their descendant closure) and the
+    *propagation schedule* (the topologically ordered variables that must be
+    recomputed under the intervention).  :class:`repro.inference.query_plan.
+    QueryPlan` extends this with graph-version-keyed path enumeration and
+    candidate-grid memoization.
+    """
+
+    def __init__(self, dag: CausalDAG) -> None:
+        self._dag = dag
+        self._topo: tuple[str, ...] = tuple(dag.topological_order())
+        self._affected: dict[frozenset, frozenset] = {}
+        self._schedules: dict[frozenset, tuple[str, ...]] = {}
+
+    @property
+    def dag(self) -> CausalDAG:
+        return self._dag
+
+    @property
+    def topological_order(self) -> tuple[str, ...]:
+        return self._topo
+
+    def affected_variables(self, intervened: Iterable[str]) -> frozenset:
+        """Intervened variables plus everything causally downstream."""
+        key = frozenset(intervened)
+        cached = self._affected.get(key)
+        if cached is None:
+            affected = set(key)
+            for variable in key:
+                if self._dag.has_node(variable):
+                    affected |= self._dag.descendants(variable)
+            cached = self._affected[key] = frozenset(affected)
+        return cached
+
+    def propagation_schedule(self, intervened: Iterable[str]
+                             ) -> tuple[str, ...]:
+        """Topologically ordered variables to recompute under ``do(...)``."""
+        key = frozenset(intervened)
+        cached = self._schedules.get(key)
+        if cached is None:
+            affected = self.affected_variables(key)
+            cached = self._schedules[key] = tuple(
+                v for v in self._topo if v in affected and v not in key)
+        return cached
+
+    def _invalidate(self) -> None:
+        self._affected.clear()
+        self._schedules.clear()
+
+    def rebind(self, dag: CausalDAG, structure_changed: bool = True) -> None:
+        """Point the plan at a (possibly re-learned) DAG.
+
+        When the structure did not change, the memoized affected sets and
+        schedules remain valid and are kept.
+        """
+        self._dag = dag
+        self._topo = tuple(dag.topological_order())
+        if structure_changed:
+            self._invalidate()
+
+
+# ---------------------------------------------------------------------------
+# Ground-truth SCMs
+# ---------------------------------------------------------------------------
+class BatchedSCM:
+    """Vectorized queries over a ground-truth structural causal model.
+
+    All methods reproduce the scalar semantics of
+    :class:`~repro.scm.model.StructuralCausalModel` exactly (to float
+    round-off): noise streams are consumed in the same order as a scalar
+    loop over the batch, so seeded runs agree with the scalar reference.
+    """
+
+    def __init__(self, scm: StructuralCausalModel) -> None:
+        self._scm = scm
+        self._exogenous = list(scm.exogenous_variables)
+        self._defaults = {name: scm.domain(name)[0] for name in self._exogenous}
+        endogenous = set(scm.endogenous_variables)
+        self._endogenous = list(scm.endogenous_variables)
+        self._topo = [v for v in scm.dag.topological_order()
+                      if v in endogenous]
+
+    @property
+    def scm(self) -> StructuralCausalModel:
+        return self._scm
+
+    # ------------------------------------------------------------- internals
+    def _config_columns(self, configurations: Sequence[Mapping[str, float]]
+                        ) -> tuple[dict[str, np.ndarray], int]:
+        n = len(configurations)
+        columns = {
+            name: np.array([float(c.get(name, self._defaults[name]))
+                            for c in configurations], dtype=float)
+            for name in self._exogenous
+        }
+        return columns, n
+
+    def _draw_noise_columns(self, rng: np.random.Generator,
+                            n: int) -> dict[str, np.ndarray]:
+        # Row-major draws (configuration-major, mechanism-minor) replicate
+        # the rng stream of a scalar loop calling ``intervene`` per row.
+        draws = {v: np.empty(n, dtype=float) for v in self._endogenous}
+        for i in range(n):
+            for variable in self._endogenous:
+                draws[variable][i] = \
+                    self._scm.noise_model(variable).sample(rng)
+        return draws
+
+    def _noise_columns(self, noise, rng, n: int) -> dict[str, np.ndarray]:
+        if noise is None:
+            return self._draw_noise_columns(rng, n) if rng is not None else {}
+        columns: dict[str, np.ndarray] = {}
+        for variable, value in noise.items():
+            array = np.asarray(value, dtype=float)
+            columns[variable] = (np.full(n, float(array))
+                                 if array.ndim == 0 else array)
+        return columns
+
+    def _propagate(self, columns: dict[str, np.ndarray],
+                   noise_columns: Mapping[str, np.ndarray],
+                   n: int) -> dict[str, np.ndarray]:
+        values = dict(columns)
+        for variable in self._topo:
+            structural = evaluate_mechanism_batch(
+                self._scm.mechanism(variable), values, n)
+            offset = noise_columns.get(variable)
+            values[variable] = (structural if offset is None
+                                else structural + offset)
+        return values
+
+    # ------------------------------------------------------------------- API
+    def intervene_batch(self, configurations: Sequence[Mapping[str, float]],
+                        rng: np.random.Generator | None = None,
+                        noise: Mapping[str, float | np.ndarray] | None = None
+                        ) -> dict[str, np.ndarray]:
+        """``do(options = configuration)`` for a whole batch at once.
+
+        Returns one ``(N,)`` column per variable.  Missing exogenous
+        variables default to the first domain value, matching the scalar
+        :meth:`~repro.scm.model.StructuralCausalModel.intervene`.
+        """
+        columns, n = self._config_columns(list(configurations))
+        noise_columns = self._noise_columns(noise, rng, n)
+        return self._propagate(columns, noise_columns, n)
+
+    def abduct_noise_batch(self, observations: Sequence[Mapping[str, float]]
+                           ) -> dict[str, np.ndarray]:
+        """Realised noise of each observation, one column per variable.
+
+        Observations are grouped by their key set, so heterogeneous batches
+        (rows observing different variable subsets) behave exactly like a
+        scalar loop over :meth:`StructuralCausalModel.abduct_noise`.
+        """
+        observations = list(observations)
+        n = len(observations)
+        noise = {variable: np.empty(n, dtype=float)
+                 for variable in self._topo}
+        for _, idx in group_by_keyset(observations):
+            group = [observations[i] for i in idx]
+            columns = {
+                name: np.array([float(o[name]) for o in group], dtype=float)
+                for name in group[0]
+            }
+            for variable in self._topo:
+                predicted = evaluate_mechanism_batch(
+                    self._scm.mechanism(variable), columns, len(group))
+                noise[variable][idx] = columns[variable] - predicted
+        return noise
+
+    def counterfactual_batch(self, observations: Sequence[Mapping[str, float]],
+                             interventions: Sequence[Mapping[str, float]]
+                             ) -> dict[str, np.ndarray]:
+        """Element-wise counterfactuals: one observation/intervention pair
+        per batch row, with the noise abduction vectorized across the batch.
+        """
+        observations = list(observations)
+        interventions = list(interventions)
+        if len(observations) != len(interventions):
+            raise ValueError("observations and interventions must pair up")
+        noise = self.abduct_noise_batch(observations)
+        configurations = []
+        for observation, intervention in zip(observations, interventions):
+            config = {name: float(observation[name])
+                      for name in self._exogenous if name in observation}
+            config.update({k: float(v) for k, v in intervention.items()})
+            configurations.append(config)
+        return self.intervene_batch(configurations, noise=noise)
+
+    def interventional_expectation_batch(
+            self, target: str, interventions: Sequence[Mapping[str, float]],
+            rng: np.random.Generator, n_samples: int = 64) -> np.ndarray:
+        """Monte-Carlo ``E[target | do(...)]`` for each intervention.
+
+        Consumes the rng stream exactly as sequential scalar calls to
+        :meth:`~repro.scm.model.StructuralCausalModel.
+        interventional_expectation` would.
+        """
+        out = np.empty(len(interventions), dtype=float)
+        for j, intervention in enumerate(interventions):
+            values = self.intervene_batch([intervention] * n_samples, rng=rng)
+            out[j] = float(np.mean(values[target]))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Fitted performance models
+# ---------------------------------------------------------------------------
+class BatchedFittedModel:
+    """Vectorized queries over a fitted performance model.
+
+    One instance is bound to one :class:`FittedPerformanceModel` (engines
+    rebuild it on ``refresh``).  A :class:`StructuralPlan` (or the engine's
+    :class:`~repro.inference.query_plan.QueryPlan`) supplies memoized
+    affected sets and propagation schedules.
+    """
+
+    def __init__(self, model: FittedPerformanceModel,
+                 plan: StructuralPlan | None = None) -> None:
+        self._model = model
+        self._plan = plan if plan is not None else StructuralPlan(model.dag)
+        self._column_index = {name: i
+                              for i, name in enumerate(model.data.columns)}
+        self._means: dict[str, float] = {}
+        self._means_epoch = model.data.data_epoch
+        #: full-dataset residual columns (counterfactual_rows_batch), keyed
+        #: off the data epoch like the means — intervention-independent.
+        self._row_residuals: dict[str, np.ndarray] | None = None
+        self._row_residuals_epoch = -1
+
+    @property
+    def model(self) -> FittedPerformanceModel:
+        return self._model
+
+    @property
+    def plan(self) -> StructuralPlan:
+        return self._plan
+
+    def _column_mean(self, variable: str) -> float:
+        epoch = self._model.data.data_epoch
+        if epoch != self._means_epoch:
+            self._means.clear()
+            self._means_epoch = epoch
+        if variable not in self._means:
+            self._means[variable] = float(
+                np.mean(self._model.data.column(variable)))
+        return self._means[variable]
+
+    # ------------------------------------------------------------ prediction
+    def predict_batch(self, assignments: Sequence[Mapping[str, float]],
+                      targets: Sequence[str] | None = None
+                      ) -> list[dict[str, float]]:
+        """Vectorized :meth:`FittedPerformanceModel.predict`.
+
+        Assignments are grouped by their key set so each group shares one
+        control flow; within a group every variable is computed as one
+        ``(N,)`` column.
+        """
+        assignments = list(assignments)
+        model = self._model
+        results: list[dict[str, float] | None] = [None] * len(assignments)
+        for keys, idx in group_by_keyset(assignments):
+            group = [assignments[i] for i in idx]
+            n = len(group)
+            values: dict[str, np.ndarray] = {
+                key: np.array([float(a[key]) for a in group], dtype=float)
+                for key in keys
+            }
+            for variable in self._plan.topological_order:
+                if variable in values:
+                    continue
+                if model.has_equation(variable):
+                    equation = model.equation(variable)
+                    if all(p in values for p in equation.parents):
+                        values[variable] = equation.predict_batch(values, n)
+                        continue
+                if variable in self._column_index:
+                    values[variable] = np.full(n, self._column_mean(variable))
+                else:
+                    values[variable] = np.zeros(n)
+            wanted = list(values) if targets is None else list(targets)
+            for j, i in enumerate(idx):
+                results[i] = {t: float(values[t][j]) for t in wanted}
+        # Every index belongs to exactly one key-set group, so the list is
+        # fully populated.
+        return results
+
+    # --------------------------------------------------------- interventions
+    def _context_matrix(self, max_contexts: int) -> np.ndarray:
+        """The observed contexts, subsampled exactly like the scalar path."""
+        matrix = self._model.data.values
+        n_rows = matrix.shape[0]
+        if n_rows > max_contexts:
+            stride = n_rows / max_contexts
+            index = [int(i * stride) for i in range(max_contexts)]
+            matrix = matrix[index]
+        return matrix
+
+    def interventional_expectation_batch(
+            self, target: str, interventions: Sequence[Mapping[str, float]],
+            max_contexts: int = 200) -> np.ndarray:
+        """Vectorized ``E[target | do(...)]`` over the empirical contexts.
+
+        For each group of interventions sharing a key set, the observed
+        contexts are tiled into ``(N, R)`` columns, the intervened columns
+        are clamped, and only the variables downstream of an intervened one
+        are re-propagated — the batched analogue of the scalar truncated
+        factorisation.
+        """
+        interventions = list(interventions)
+        model = self._model
+        out = np.zeros(len(interventions), dtype=float)
+        context = self._context_matrix(max_contexts)
+        n_contexts = context.shape[0]
+        if n_contexts == 0:
+            return out
+        for keys, idx in group_by_keyset(interventions):
+            n = len(idx)
+            values: dict[str, np.ndarray] = {
+                name: np.broadcast_to(context[:, j], (n, n_contexts))
+                for name, j in self._column_index.items()
+            }
+            for key in keys:
+                column = np.array([float(interventions[i][key]) for i in idx],
+                                  dtype=float)
+                values[key] = np.broadcast_to(column[:, None],
+                                              (n, n_contexts))
+            for variable in self._plan.propagation_schedule(keys):
+                if not model.has_equation(variable):
+                    continue
+                equation = model.equation(variable)
+                if all(p in values for p in equation.parents):
+                    flat = {p: values[p].reshape(-1)
+                            for p in equation.parents}
+                    values[variable] = equation.predict_batch(
+                        flat, n * n_contexts).reshape(n, n_contexts)
+            if target in values:
+                out[idx] = values[target].mean(axis=1)
+        return out
+
+    # -------------------------------------------------------- counterfactual
+    def _abduct_residuals(self, observation: Mapping[str, float]
+                          ) -> dict[str, float]:
+        """Equation residuals of the factual observation (abduction).
+
+        Computed once per observation with the scalar equations — this is
+        the single abduction reused across the whole candidate batch.
+        """
+        model = self._model
+        residuals: dict[str, float] = {}
+        for variable, equation in model.equations().items():
+            if variable in observation and all(p in observation
+                                               for p in equation.parents):
+                residuals[variable] = (float(observation[variable])
+                                       - equation.predict(observation))
+        return residuals
+
+    def _counterfactual_columns(self, observation: Mapping[str, float],
+                                interventions: Sequence[Mapping[str, float]]
+                                ):
+        """Yield ``(indices, values)`` per key-set group of interventions."""
+        model = self._model
+        residuals = self._abduct_residuals(observation)
+        for keys, idx in group_by_keyset(interventions):
+            n = len(idx)
+            values: dict[str, np.ndarray] = {
+                name: np.full(n, float(value))
+                for name, value in observation.items()
+            }
+            for key in keys:
+                values[key] = np.array(
+                    [float(interventions[i][key]) for i in idx], dtype=float)
+            for variable in self._plan.propagation_schedule(keys):
+                if not model.has_equation(variable):
+                    continue
+                equation = model.equation(variable)
+                if all(p in values for p in equation.parents):
+                    values[variable] = (
+                        equation.predict_batch(values, n)
+                        + residuals.get(variable, 0.0))
+            yield idx, values
+
+    def counterfactual_batch(self, observation: Mapping[str, float],
+                             interventions: Sequence[Mapping[str, float]]
+                             ) -> list[dict[str, float]]:
+        """Counterfactuals of one observation under many interventions.
+
+        Returns one outcome dict per intervention (the shape of the scalar
+        :meth:`FittedPerformanceModel.counterfactual`), with the residual
+        abduction shared across the batch.
+        """
+        interventions = list(interventions)
+        results: list[dict[str, float]] = [{} for _ in interventions]
+        for idx, values in self._counterfactual_columns(observation,
+                                                        interventions):
+            names = list(values)
+            for j, i in enumerate(idx):
+                results[i] = {name: float(values[name][j]) for name in names}
+        return results
+
+    def counterfactual_targets_batch(
+            self, observation: Mapping[str, float],
+            interventions: Sequence[Mapping[str, float]],
+            targets: Sequence[str],
+            fallbacks: Mapping[str, float] | None = None) -> np.ndarray:
+        """Counterfactual values of ``targets`` only, as an ``(N, T)`` array.
+
+        The fast path for repair scoring: avoids materialising the full
+        outcome dict per candidate.  Targets absent from the observation and
+        never recomputed fall back to ``fallbacks`` (or 0.0).
+        """
+        interventions = list(interventions)
+        targets = list(targets)
+        out = np.empty((len(interventions), len(targets)), dtype=float)
+        for t, target in enumerate(targets):
+            if target in observation:
+                out[:, t] = float(observation[target])
+            else:
+                out[:, t] = float((fallbacks or {}).get(target, 0.0))
+        for idx, values in self._counterfactual_columns(observation,
+                                                        interventions):
+            for t, target in enumerate(targets):
+                if target in values:
+                    out[idx, t] = values[target]
+        return out
+
+    def counterfactual_rows_batch(self, intervention: Mapping[str, float],
+                                  target: str) -> np.ndarray:
+        """Counterfactual ``target`` of *every* observed row under one
+        intervention — the satisfaction-probability hot path.
+
+        The residual abduction is vectorized over the dataset: one
+        ``predict_batch`` per equation on the pristine columns, then one
+        re-propagation of the affected variables with the intervention
+        clamped.
+        """
+        model = self._model
+        data = model.data
+        n = data.n_rows
+        columns = {name: data.column(name) for name in data.columns}
+        epoch = data.data_epoch
+        if self._row_residuals is None or self._row_residuals_epoch != epoch:
+            self._row_residuals = {
+                variable: columns[variable]
+                - equation.predict_batch(columns, n)
+                for variable, equation in model.equations().items()
+                if variable in columns
+                and all(p in columns for p in equation.parents)
+            }
+            self._row_residuals_epoch = epoch
+        residuals = self._row_residuals
+        values: dict[str, np.ndarray] = dict(columns)
+        keys = list(intervention)
+        for key in keys:
+            values[key] = np.full(n, float(intervention[key]))
+        for variable in self._plan.propagation_schedule(keys):
+            if not model.has_equation(variable):
+                continue
+            equation = model.equation(variable)
+            if all(p in values for p in equation.parents):
+                values[variable] = (equation.predict_batch(values, n)
+                                    + residuals.get(variable, 0.0))
+        if target in values:
+            return np.asarray(values[target], dtype=float)
+        return np.zeros(n)

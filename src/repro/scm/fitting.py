@@ -47,8 +47,45 @@ class FittedEquation:
         return _polynomial_features(parent_values[None, :], self.parents)[0][0]
 
     def predict(self, values: Mapping[str, float]) -> float:
+        # Accumulate feature terms sequentially (not via a BLAS dot product)
+        # in the exact order predict_batch uses, so the scalar and batched
+        # paths are *bitwise* identical — matmul reassociation would
+        # otherwise let chained counterfactuals drift apart numerically.
         row = self.design_row(values)
-        return float(row @ self.coefficients + self.intercept)
+        total = float(self.intercept)
+        for j in range(len(self.coefficients)):
+            total += float(row[j]) * float(self.coefficients[j])
+        return total
+
+    def predict_batch(self, columns: Mapping[str, np.ndarray],
+                      n_rows: int) -> np.ndarray:
+        """Vectorized :meth:`predict` over ``(n_rows,)`` parent columns.
+
+        Feature terms (linear, squared, pairwise — the
+        :func:`_polynomial_features` order) accumulate term-by-term in the
+        same order and with the same elementwise operations as the scalar
+        :meth:`predict`, so each row of the result is bitwise equal to a
+        scalar call on that row.
+        """
+        if not self.parents:
+            return np.full(n_rows, self.intercept, dtype=float)
+        parent_columns = [np.asarray(columns[p], dtype=float)
+                          for p in self.parents]
+        coefficients = self.coefficients
+        total = np.full(n_rows, float(self.intercept), dtype=float)
+        k = 0
+        for column in parent_columns:
+            total += column * coefficients[k]
+            k += 1
+        for column in parent_columns:
+            total += column ** 2 * coefficients[k]
+            k += 1
+        for j in range(len(parent_columns)):
+            for l in range(j + 1, len(parent_columns)):
+                total += parent_columns[j] * parent_columns[l] \
+                    * coefficients[k]
+                k += 1
+        return total
 
     def terms(self) -> dict[str, float]:
         """Feature-name → coefficient mapping (for explanation / stability)."""

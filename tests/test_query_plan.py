@@ -1,0 +1,198 @@
+"""Property-based invariance tests for the QueryPlan memoization layer.
+
+Two contracts are held:
+
+* **Refresh invariance** — rebinding the plan (and the engine) to a model
+  whose graph did *not* change keeps every memo and produces answers
+  identical to the pre-refresh ones.
+* **Invalidation** — when the engine's ``_changed_edge_nodes`` verdict is
+  non-empty, the plan bumps its version, drops every structural memo, and
+  post-refresh answers match a freshly built engine on the new model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.dag import CausalDAG
+from repro.inference.engine import CausalInferenceEngine
+from repro.inference.query_plan import QueryPlan
+from repro.scm.batched import StructuralPlan
+
+
+# ---------------------------------------------------------------------------
+# StructuralPlan / QueryPlan unit properties on random DAGs
+# ---------------------------------------------------------------------------
+@st.composite
+def random_dags(draw) -> CausalDAG:
+    n = draw(st.integers(min_value=2, max_value=7))
+    nodes = [f"v{i}" for i in range(n)]
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                edges.append((nodes[i], nodes[j]))
+    return CausalDAG(nodes, edges)
+
+
+@given(random_dags(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_affected_sets_match_brute_force(dag, data):
+    plan = StructuralPlan(dag)
+    intervened = data.draw(st.sets(st.sampled_from(dag.nodes), min_size=1,
+                                   max_size=3))
+    affected = plan.affected_variables(intervened)
+    expected = set(intervened)
+    for node in intervened:
+        expected |= dag.descendants(node)
+    assert affected == frozenset(expected)
+    schedule = plan.propagation_schedule(intervened)
+    # Schedule is exactly the affected non-intervened variables, topo-sorted.
+    assert set(schedule) == expected - set(intervened)
+    position = {node: i for i, node in enumerate(dag.topological_order())}
+    assert list(schedule) == sorted(schedule, key=position.get)
+
+
+@given(random_dags(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_memo_survives_unchanged_rebind_and_dies_on_change(dag, data):
+    plan = QueryPlan(dag, graph=dag.to_mixed_graph())
+    intervened = data.draw(st.sets(st.sampled_from(dag.nodes), min_size=1,
+                                   max_size=2))
+    before = plan.affected_variables(intervened)
+    version = plan.version
+
+    # Unchanged rebind: memo identity and version are preserved.
+    plan.rebind(dag, graph=dag.to_mixed_graph(), structure_changed=False)
+    assert plan.version == version
+    assert plan.affected_variables(intervened) is before
+
+    # Changed rebind: version bumps and the memo is recomputed fresh.
+    plan.rebind(dag, graph=dag.to_mixed_graph(), structure_changed=True)
+    assert plan.version == version + 1
+    after = plan.affected_variables(intervened)
+    assert after == before
+    assert after is not before
+
+
+def test_invalidation_reflects_new_structure():
+    """A stale affected set must not survive a structural rebind."""
+    dag = CausalDAG(["a", "b", "c"], [("a", "b")])
+    plan = QueryPlan(dag)
+    assert plan.affected_variables({"a"}) == frozenset({"a", "b"})
+
+    grown = CausalDAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+    plan.rebind(grown, structure_changed=True)
+    assert plan.affected_variables({"a"}) == frozenset({"a", "b", "c"})
+    assert plan.propagation_schedule({"a"}) == ("b", "c")
+
+
+def test_candidate_memo_is_bounded_and_version_keyed():
+    dag = CausalDAG(["a", "b"], [("a", "b")])
+    plan = QueryPlan(dag)
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return [{"a": 1.0}]
+
+    first = plan.memoized_candidates("key", builder)
+    again = plan.memoized_candidates("key", builder)
+    assert again == first
+    assert len(calls) == 1
+    # Callers get a copy: mutating it must not corrupt the memo.
+    again.append({"bogus": 0.0})
+    assert plan.memoized_candidates("key", builder) == first
+    assert len(calls) == 1
+    plan.rebind(dag, structure_changed=True)
+    plan.memoized_candidates("key", builder)
+    assert len(calls) == 2
+
+    # The memo is bounded: overflowing it clears and rebuilds.
+    for i in range(70):
+        plan.memoized_candidates(("spam", i), list)
+    plan.memoized_candidates("key", builder)
+    assert len(calls) == 3
+
+
+def test_path_enumeration_is_memoized():
+    dag = CausalDAG(["o", "e", "y"], [("o", "e"), ("e", "y")])
+    plan = QueryPlan(dag, graph=dag.to_mixed_graph())
+    paths = plan.causal_paths("y")
+    assert paths == [["o", "e", "y"]]
+    # Callers get a copy of the memo entry; mutating it is harmless.
+    paths.clear()
+    assert plan.causal_paths("y") == [["o", "e", "y"]]
+    assert plan.causal_paths("missing") == []
+
+
+# ---------------------------------------------------------------------------
+# Engine-level refresh invariance
+# ---------------------------------------------------------------------------
+def _engine_answers(engine, objective, option, domain, fault):
+    faulty_configuration, faulty_measurement = fault
+    repairs = engine.repair_set(faulty_configuration, faulty_measurement,
+                                {objective: "maximize"})
+    return {
+        "expectations": engine.interventional_expectations_batch(
+            objective, [{option: value} for value in domain]),
+        "effects": engine.option_effects(objective),
+        "repairs": [(repair.changes, repair.ice) for repair in repairs],
+        "paths": [(path.nodes, path.ace)
+                  for path in engine.ranked_paths([objective])],
+    }
+
+
+def test_engine_refresh_with_unchanged_graph_is_invariant(cache_model,
+                                                          cache_system):
+    domains = {name: cache_system.space.option(name).values
+               for name in cache_system.space.option_names}
+    engine = CausalInferenceEngine(cache_model, domains)
+    objective = cache_system.objective_names[0]
+    option = cache_system.space.option_names[0]
+    fault = ({name: domains[name][0] for name in domains},
+             {objective: float(np.mean(cache_model.data.column(objective)))})
+
+    before = _engine_answers(engine, objective, option, domains[option],
+                             fault)
+    version = engine.query_plan.version
+    engine.refresh(cache_model)
+    after = _engine_answers(engine, objective, option, domains[option], fault)
+
+    assert engine.query_plan.version == version
+    assert after["expectations"] == before["expectations"]
+    assert after["effects"] == before["effects"]
+    assert after["repairs"] == before["repairs"]
+    assert after["paths"] == before["paths"]
+
+
+def test_engine_refresh_with_changed_graph_invalidates(cache_model,
+                                                       cache_system):
+    domains = {name: cache_system.space.option(name).values
+               for name in cache_system.space.option_names}
+    engine = CausalInferenceEngine(cache_model, domains)
+    objective = cache_system.objective_names[0]
+    option = cache_system.space.option_names[0]
+    fault = ({name: domains[name][0] for name in domains},
+             {objective: float(np.mean(cache_model.data.column(objective)))})
+    _engine_answers(engine, objective, option, domains[option], fault)
+    version = engine.query_plan.version
+
+    # Drop one edge of the learned graph: _changed_edge_nodes is non-empty.
+    changed_graph = cache_model.graph.copy()
+    edge = next(iter(changed_graph.edges()))
+    changed_graph.remove_edge(edge.u, edge.v)
+    changed = dataclasses.replace(cache_model, graph=changed_graph)
+
+    engine.refresh(changed)
+    assert engine.query_plan.version == version + 1
+
+    # Post-refresh answers equal a freshly built engine on the new model —
+    # nothing stale leaked through the memos.
+    fresh = CausalInferenceEngine(changed, domains)
+    assert _engine_answers(engine, objective, option, domains[option],
+                           fault) == \
+        _engine_answers(fresh, objective, option, domains[option], fault)
