@@ -1,0 +1,147 @@
+"""Benchmark: concurrent query serving vs one-at-a-time engine dispatch.
+
+The acceptance gate of the serving layer: 64 concurrent clients submitting
+a mixed workload (interventional effects, predictions, ACE sweeps, hot
+satisfaction probabilities, hot repair scans) against one fitted SQLite
+model must be served at least **4x faster** end-to-end by the coalescing
+``QueryService`` than by dispatching the same requests one at a time
+against the same engine — while every answer stays **byte-identical** to
+the one-at-a-time reference (compared through canonical JSON).
+
+Timing protocol: one untimed warm-up round (thread pools, path caches,
+residual caches), then the **minimum** of ``ROUNDS`` timed rounds for
+both sides — the least-noise estimator of true cost on shared/loaded
+runners, applied identically to the two sides so the ratio stays fair.
+``SERVICE_BENCH_QUICK=1`` trims the rounds for CI runners; the 4x gate is
+unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.service import (
+    ModelRegistry,
+    QueryService,
+    RequestBatcher,
+    canonical_answers,
+    latency_percentiles,
+    mixed_workload,
+    serve_concurrently,
+)
+from repro.systems.registry import get_system
+
+QUICK = os.environ.get("SERVICE_BENCH_QUICK") == "1"
+#: min-of-rounds needs enough rounds to catch a quiet scheduling window on
+#: small/loaded runners (64 client threads on few cores are noisy; a round
+#: costs well under a second, so extra rounds are cheap insurance).
+ROUNDS = 7 if QUICK else 9
+REQUIRED_SPEEDUP = 4.0
+N_CLIENTS = 64
+#: 10 queries per client (640 total) amortizes the dispatcher's fixed
+#: per-round costs (windows, thread wakeups) so the measured ratio tracks
+#: the coalescing win rather than scheduler noise on loaded runners.
+REQUESTS_PER_CLIENT = 10
+N_SAMPLES = 150
+SEED = 17
+
+
+def _serve_round(registry, requests) -> tuple[list, float, object]:
+    """One concurrent round: 64 barrier-started clients, wall-clock timed."""
+    with QueryService(registry, batch_window=0.002, max_batch=512) as service:
+        return serve_concurrently(service, requests, N_CLIENTS)
+
+
+def test_query_service_throughput_and_identity(results_recorder):
+    registry = ModelRegistry(capacity=2)
+    entry = registry.get_or_fit({"system": "sqlite",
+                                 "n_samples": N_SAMPLES, "seed": SEED})
+    system = get_system("sqlite")
+    requests = mixed_workload(entry.key, entry.engine, system.objectives,
+                              N_CLIENTS * REQUESTS_PER_CLIENT, seed=SEED,
+                              max_repairs=128)
+    batcher = RequestBatcher()
+
+    # Warm-up (fills the engine's path/residual caches on both sides).
+    reference = batcher.serial_dispatch(entry, requests)
+    warm_responses, _, _ = _serve_round(registry, requests)
+
+    # Byte-identity: concurrent coalesced answers == one-at-a-time answers.
+    assert canonical_answers(warm_responses) == canonical_answers(reference)
+    assert all(r.ok for r in warm_responses)
+
+    serial_timings = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        batcher.serial_dispatch(entry, requests)
+        serial_timings.append(time.perf_counter() - started)
+    serial_seconds = float(np.min(serial_timings))
+
+    service_timings = []
+    stats = None
+    for _ in range(ROUNDS):
+        responses, seconds, stats = _serve_round(registry, requests)
+        service_timings.append(seconds)
+        assert canonical_answers(responses) == canonical_answers(reference)
+    service_seconds = float(np.min(service_timings))
+
+    speedup = serial_seconds / service_seconds
+    percentiles = latency_percentiles(responses)
+    payload = {
+        "n_clients": N_CLIENTS,
+        "n_queries": len(requests),
+        "serial_ms": serial_seconds * 1000.0,
+        "service_ms": service_seconds * 1000.0,
+        "speedup": speedup,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "throughput_qps": len(requests) / service_seconds,
+        "engine_calls_per_round": stats.engine_calls,
+        "coalesced_ratio": stats.coalesced_ratio,
+        **percentiles,
+    }
+    results_recorder("query_service_throughput", payload)
+    print(f"\n{len(requests)}-query mixed workload, {N_CLIENTS} clients: "
+          f"one-at-a-time {payload['serial_ms']:.0f} ms vs service "
+          f"{payload['service_ms']:.0f} ms -> {speedup:.1f}x "
+          f"({payload['throughput_qps']:.0f} qps, "
+          f"{stats.coalesced_ratio:.1f} answers/engine-call, "
+          f"p95 {percentiles['p95_ms']:.1f} ms)")
+
+    assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_query_service_scalar_oracle_differential(results_recorder):
+    """The scalar-oracle fallback: a registry pinned to the scalar path
+    must agree with the batched registry to 1e-9 on every answer."""
+    spec = {"system": "sqlite", "n_samples": 60, "seed": SEED}
+    batched_entry = ModelRegistry(capacity=1).get_or_fit(spec)
+    scalar_entry = ModelRegistry(capacity=1,
+                                 use_batched=False).get_or_fit(spec)
+    system = get_system("sqlite")
+    requests = mixed_workload(batched_entry.key, batched_entry.engine,
+                              system.objectives, 48, seed=SEED + 1,
+                              max_repairs=32)
+    batcher = RequestBatcher()
+    batched = batcher.dispatch(batched_entry, requests)
+    scalar = batcher.dispatch(
+        scalar_entry,
+        [type(r)(**{**r.__dict__, "subject": scalar_entry.key})
+         for r in requests])
+
+    def flatten(value) -> list[float]:
+        if isinstance(value, (int, float)):
+            return [float(value)]
+        if isinstance(value, dict):
+            return [float(v) for _, v in sorted(value.items())]
+        return [x for entry_ in value for x in flatten(entry_["changes"])
+                + [entry_["ice"], entry_["improvement"]]]
+
+    for b, s in zip(batched, scalar):
+        assert b.ok and s.ok
+        assert np.allclose(flatten(b.value), flatten(s.value),
+                           rtol=1e-9, atol=1e-9)
+    results_recorder("query_service_scalar_oracle",
+                     {"n_queries": len(requests), "tolerance": 1e-9})

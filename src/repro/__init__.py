@@ -33,6 +33,9 @@ The package is organised as a layered system:
     Evaluation metrics used across the paper's tables and figures.
 ``repro.evaluation``
     Experiment runners shared by the benchmark harness and the examples.
+``repro.service``
+    The concurrent query-serving layer: model registry, request batcher and
+    the thread-safe :class:`~repro.service.service.QueryService` facade.
 """
 
 from repro.core.unicorn import Unicorn, UnicornConfig
@@ -41,6 +44,8 @@ from repro.core.optimizer import OptimizationResult, UnicornOptimizer
 from repro.inference.engine import CausalInferenceEngine
 from repro.inference.queries import PerformanceQuery, QueryKind
 from repro.scm.model import StructuralCausalModel
+from repro.service.registry import ModelRegistry
+from repro.service.service import QueryService
 from repro.systems.base import ConfigurableSystem, Environment, Measurement
 from repro.systems.registry import get_system, list_systems
 
@@ -54,6 +59,8 @@ __all__ = [
     "DebugResult",
     "OptimizationResult",
     "CausalInferenceEngine",
+    "ModelRegistry",
+    "QueryService",
     "PerformanceQuery",
     "QueryKind",
     "StructuralCausalModel",

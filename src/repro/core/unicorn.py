@@ -149,6 +149,20 @@ class Unicorn:
 
     def dataset_from_measurements(self,
                                   measurements: Sequence[Measurement]) -> Dataset:
+        """Flatten measurements into a :class:`Dataset` over the loop's
+        variables (options, then events, then objectives).
+
+        Parameters
+        ----------
+        measurements:
+            The measurements to tabulate; each contributes one row.
+
+        Returns
+        -------
+        Dataset
+            Column-named matrix with low-cardinality options marked
+            discrete (CI tests pick their estimator from that flag).
+        """
         rows = [m.as_row() for m in measurements]
         columns = self._variables()
         discrete = [name for name in self._option_names
@@ -206,6 +220,35 @@ class Unicorn:
         state.relearn_seconds.append(time.perf_counter() - started)
         return state.engine
 
+    def fit(self, initial_measurements: Sequence[Measurement] = ()
+            ) -> LoopState:
+        """Collect the initial sample and learn the first model in one call.
+
+        The convenience entry point used by consumers that want a fitted,
+        queryable model handle rather than to drive the active loop
+        themselves — the serving layer's
+        :class:`~repro.service.registry.ModelRegistry` fits registry
+        entries through it, and later refreshes them via :meth:`learn`'s
+        incremental path.
+
+        Parameters
+        ----------
+        initial_measurements:
+            Measurements to adopt before sampling; only the shortfall up to
+            ``config.initial_samples`` is measured fresh.
+
+        Returns
+        -------
+        LoopState
+            A new loop state with ``measurements``, ``learned`` and
+            ``engine`` populated (``engine`` is also reachable as
+            ``state.engine``).
+        """
+        state = LoopState()
+        self.collect_initial_samples(state, initial_measurements)
+        self.learn(state)
+        return state
+
     # ------------------------------------------------------------ stage III/IV
     def measure_and_update(self, state: LoopState,
                            configuration: Mapping[str, float],
@@ -246,4 +289,5 @@ class Unicorn:
         return config
 
     def remaining_budget(self, state: LoopState) -> int:
+        """Measurements left before ``config.budget`` is exhausted."""
         return max(self.config.budget - state.samples_used, 0)

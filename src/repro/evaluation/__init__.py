@@ -11,6 +11,9 @@ Each module corresponds to one family of experiments in the paper:
 * :mod:`repro.evaluation.scalability` — Table 3.
 * :mod:`repro.evaluation.case_study` — Section 5 / Fig. 12.
 * :mod:`repro.evaluation.fault_campaign` — Fig. 13 fault catalogue.
+* :mod:`repro.evaluation.service_campaign` — serving-layer throughput
+  (concurrent :class:`~repro.service.service.QueryService` vs one-at-a-time
+  dispatch; no paper counterpart — it measures the north-star scaling goal).
 
 Runners return plain dictionaries / dataclasses so benchmarks can both assert
 on them and print paper-style rows.
@@ -60,6 +63,11 @@ from repro.evaluation.scalability import (
     run_scalability_scenario,
     scalability_campaign_cells,
 )
+from repro.evaluation.service_campaign import (
+    run_service_campaign,
+    run_service_throughput,
+    service_campaign_cells,
+)
 from repro.evaluation.case_study import run_case_study
 from repro.evaluation.fault_campaign import (
     FaultCampaignReport,
@@ -99,6 +107,9 @@ __all__ = [
     "run_scalability_scenario",
     "scalability_campaign_cells",
     "run_scalability_campaign",
+    "run_service_throughput",
+    "service_campaign_cells",
+    "run_service_campaign",
     "run_case_study",
     "FaultCampaignReport",
     "fault_campaign_cells",

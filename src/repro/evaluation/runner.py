@@ -128,6 +128,7 @@ class CampaignReport:
     outcomes: list[CellOutcome] = field(default_factory=list)
 
     def results(self) -> list[dict]:
+        """The per-cell result dicts, in cell-enumeration order."""
         return [outcome.result for outcome in self.outcomes]
 
     @property

@@ -1,0 +1,160 @@
+"""Service-throughput campaign: the serving layer as an experiment cell.
+
+The north-star system serves heavy concurrent query traffic; this module
+measures how well it does so, with the same campaign machinery (cells, seed
+trees, resumable artifacts) the paper experiments use.  One cell fits a
+subject model, generates a deterministic mixed workload
+(:func:`repro.service.workload.mixed_workload`), answers it twice — once
+through one-at-a-time engine dispatch, once through a concurrent
+:class:`~repro.service.service.QueryService` — and reports throughput,
+latency percentiles, the coalescing ratio and whether the two answer sets
+were byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, Sequence
+
+from repro.evaluation.runner import CampaignCell, register_cell_kind, run_campaign
+from repro.evaluation.store import ArtifactStore
+from repro.systems.registry import get_system
+
+# repro.service imports repro.evaluation.store for its content-hash keys, so
+# the service layer is imported lazily here to keep package import acyclic.
+
+SERVICE_CELL = "service_throughput"
+
+
+def run_service_throughput(system_name: str, hardware: str | None = None,
+                           n_clients: int = 16, requests_per_client: int = 4,
+                           n_samples: int = 60, seed: int = 0,
+                           batch_window: float = 0.004) -> dict:
+    """Measure serving throughput for one subject at one concurrency level.
+
+    Parameters
+    ----------
+    system_name, hardware:
+        Subject system (a :func:`repro.systems.registry.get_system` name)
+        and optional hardware platform.
+    n_clients:
+        Concurrent client threads; each submits its requests as one
+        ``submit_many`` batch and blocks for the answers (the
+        serving-realistic pattern that gives the dispatcher its
+        coalescing opportunities).
+    requests_per_client:
+        Mixed-workload queries per client.
+    n_samples:
+        Observational sample size the subject model is fitted on.
+    seed:
+        Seed for both the model fit and the workload.
+    batch_window:
+        Dispatcher accumulation window in seconds.
+
+    Returns
+    -------
+    dict
+        JSON-serializable cell result: ``n_queries``, ``serial_seconds``,
+        ``service_seconds``, ``speedup``, ``throughput_qps``,
+        ``coalesced_ratio``, ``identical`` (byte-identity of service vs
+        one-at-a-time answers) and latency percentiles.
+    """
+    from repro.service.batcher import RequestBatcher
+    from repro.service.registry import ModelRegistry
+    from repro.service.service import QueryService
+    from repro.service.workload import (canonical_answers,
+                                        latency_percentiles, mixed_workload,
+                                        serve_concurrently)
+
+    registry = ModelRegistry(capacity=2)
+    entry = registry.get_or_fit({"system": system_name, "hardware": hardware,
+                                 "n_samples": int(n_samples),
+                                 "seed": int(seed)})
+    system = get_system(system_name, hardware=hardware)
+    requests = mixed_workload(entry.key, entry.engine, system.objectives,
+                              int(n_clients) * int(requests_per_client),
+                              seed=seed)
+
+    batcher = RequestBatcher()
+    # Untimed warm-up: fill the engine's one-time caches (ranked paths,
+    # residual columns) so neither timed side pays them — the serial
+    # reference measures dispatch, not first-touch cost.
+    batcher.dispatch(entry, requests)
+    started = time.perf_counter()
+    serial = batcher.serial_dispatch(entry, requests)
+    serial_seconds = time.perf_counter() - started
+
+    with QueryService(registry, batch_window=batch_window,
+                      max_batch=512) as service:
+        responses, service_seconds, stats = serve_concurrently(
+            service, requests, int(n_clients))
+
+    identical = canonical_answers(serial) == canonical_answers(responses)
+    result = {
+        "system": system_name,
+        "n_clients": int(n_clients),
+        "n_queries": len(requests),
+        "serial_seconds": serial_seconds,
+        "service_seconds": service_seconds,
+        "speedup": serial_seconds / max(service_seconds, 1e-9),
+        "throughput_qps": len(requests) / max(service_seconds, 1e-9),
+        "coalesced_ratio": stats.coalesced_ratio,
+        "identical": identical,
+    }
+    result.update(latency_percentiles(responses))
+    return result
+
+
+@register_cell_kind(SERVICE_CELL)
+def _service_cell(spec: Mapping, seed: int) -> dict:
+    """One campaign cell: one service-throughput measurement."""
+    return run_service_throughput(
+        spec["system"], spec.get("hardware"),
+        n_clients=int(spec.get("n_clients", 16)),
+        requests_per_client=int(spec.get("requests_per_client", 4)),
+        n_samples=int(spec.get("n_samples", 60)),
+        seed=seed,
+        batch_window=float(spec.get("batch_window", 0.004)))
+
+
+def service_campaign_cells(scenarios: Sequence[Mapping]) -> list[CampaignCell]:
+    """One cell per serving scenario (dicts of
+    :func:`run_service_throughput` kwargs; ``system`` is mandatory).
+
+    Raises
+    ------
+    ValueError
+        If a scenario does not name its subject system.
+    """
+    cells = []
+    for scenario in scenarios:
+        spec = dict(scenario)
+        if "system" not in spec:
+            raise ValueError(f"service scenario needs 'system': {spec}")
+        cells.append(CampaignCell(kind=SERVICE_CELL, spec=spec))
+    return cells
+
+
+def run_service_campaign(scenarios: Sequence[Mapping], root_seed: int = 0,
+                         parallel: bool = False,
+                         max_workers: int | None = None,
+                         store: ArtifactStore | None = None) -> list[dict]:
+    """Run a grid of serving scenarios through the campaign runner.
+
+    Parameters
+    ----------
+    scenarios:
+        See :func:`service_campaign_cells`.
+    root_seed, parallel, max_workers, store:
+        Forwarded to :func:`repro.evaluation.runner.run_campaign`.
+
+    Returns
+    -------
+    list of dict
+        One :func:`run_service_throughput` result per scenario, in
+        scenario order.
+    """
+    cells = service_campaign_cells(scenarios)
+    campaign = run_campaign(cells, root_seed=root_seed, parallel=parallel,
+                            max_workers=max_workers, store=store)
+    return campaign.results()

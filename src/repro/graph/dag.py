@@ -48,12 +48,14 @@ class CausalDAG:
         return list(self._order)
 
     def add_node(self, node: str) -> None:
+        """Add a variable (idempotent; order of first add is kept)."""
         if node not in self._parents:
             self._parents[node] = set()
             self._children[node] = set()
             self._order.append(node)
 
     def has_node(self, node: str) -> bool:
+        """Whether ``node`` is a variable of this graph."""
         return node in self._parents
 
     def __contains__(self, node: str) -> bool:
@@ -64,6 +66,7 @@ class CausalDAG:
 
     # ------------------------------------------------------------------ edges
     def add_edge(self, cause: str, effect: str) -> None:
+        """Add ``cause -> effect``, refusing self loops and cycles."""
         if cause == effect:
             raise CycleError(f"self loop on {cause!r}")
         self.add_node(cause)
@@ -74,26 +77,33 @@ class CausalDAG:
         self._children[cause].add(effect)
 
     def remove_edge(self, cause: str, effect: str) -> None:
+        """Remove ``cause -> effect`` if present."""
         self._parents[effect].discard(cause)
         self._children[cause].discard(effect)
 
     def has_edge(self, cause: str, effect: str) -> bool:
+        """Whether the directed edge ``cause -> effect`` exists."""
         return cause in self._parents.get(effect, ())
 
     def edges(self) -> list[tuple[str, str]]:
+        """All ``(cause, effect)`` pairs, child-major, deterministic."""
         return [(p, c) for c in self._order for p in sorted(self._parents[c])]
 
     def num_edges(self) -> int:
+        """Number of directed edges."""
         return sum(len(p) for p in self._parents.values())
 
     # ------------------------------------------------------------- relations
     def parents(self, node: str) -> set[str]:
+        """Direct causes of ``node``."""
         return set(self._parents[node])
 
     def children(self, node: str) -> set[str]:
+        """Direct effects of ``node``."""
         return set(self._children[node])
 
     def ancestors(self, node: str) -> set[str]:
+        """Transitive causes of ``node`` (excluding itself)."""
         out: set[str] = set()
         frontier = [node]
         while frontier:
@@ -104,6 +114,7 @@ class CausalDAG:
         return out
 
     def descendants(self, node: str) -> set[str]:
+        """Transitive effects of ``node`` (excluding itself)."""
         out: set[str] = set()
         frontier = [node]
         while frontier:

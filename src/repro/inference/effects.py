@@ -70,6 +70,61 @@ def average_causal_effect(model: FittedPerformanceModel, target: str,
     return float(np.mean(diffs))
 
 
+def average_causal_effects_batch(model: FittedPerformanceModel, target: str,
+                                 treatments: Sequence[str],
+                                 domains: Mapping[str, Sequence[float]] | None = None,
+                                 max_contexts: int = 100,
+                                 evaluator=None) -> list[float]:
+    """Signed ACE of several treatments on one target in one batched sweep.
+
+    The serving layer's batcher answers a drained group of ACE queries with
+    this: every treatment's value sweep is concatenated into a single
+    ``interventional_expectation_batch`` call and sliced back per
+    treatment.  Because the batched evaluator groups interventions by key
+    set, each treatment's rows form their own subgroup, so every returned
+    ACE is bitwise equal to a standalone :func:`average_causal_effect`
+    call for that treatment.
+
+    Parameters
+    ----------
+    model, target, domains, max_contexts, evaluator:
+        As in :func:`average_causal_effect`.
+    treatments:
+        The options whose effects on ``target`` are wanted.
+
+    Returns
+    -------
+    list of float
+        One signed ACE per treatment, in ``treatments`` order.
+    """
+    if evaluator is None:
+        return [average_causal_effect(model, target, treatment,
+                                      domains=domains,
+                                      max_contexts=max_contexts)
+                for treatment in treatments]
+    sweeps = [_permissible_values(model, treatment, domains)
+              for treatment in treatments]
+    interventions: list[dict[str, float]] = []
+    slices: list[tuple[int, int]] = []
+    for treatment, values in zip(treatments, sweeps):
+        start = len(interventions)
+        if len(values) >= 2:
+            interventions.extend({treatment: value} for value in values)
+        slices.append((start, len(interventions)))
+    expectations = (evaluator.interventional_expectation_batch(
+        target, interventions, max_contexts=max_contexts)
+        if interventions else [])
+    effects: list[float] = []
+    for start, end in slices:
+        if end - start < 2:
+            effects.append(0.0)
+            continue
+        window = expectations[start:end]
+        diffs = [window[i + 1] - window[i] for i in range(len(window) - 1)]
+        effects.append(float(np.mean(diffs)))
+    return effects
+
+
 def path_average_causal_effect(model: FittedPerformanceModel,
                                path: Sequence[str],
                                domains: Mapping[str, Sequence[float]] | None = None,

@@ -20,6 +20,7 @@ from repro.discovery.pipeline import LearnedModel
 from repro.graph.mixed_graph import MixedGraph
 from repro.inference.effects import (
     average_causal_effect,
+    average_causal_effects_batch,
     option_effects_on_objective,
 )
 from repro.inference.paths import CausalPath, extract_ranked_paths, root_cause_options
@@ -87,6 +88,11 @@ class CausalInferenceEngine:
         self._batched = BatchedFittedModel(self._fitted, plan=self._plan)
         self._path_cache: dict[tuple[str, ...], list[CausalPath]] = {}
         self._path_cache_age: dict[tuple[str, ...], int] = {}
+        #: monotonically increasing model version; bumped by every
+        #: :meth:`refresh` so concurrent consumers (the query-serving layer's
+        #: registry and batcher) can tell which model state answered them and
+        #: never coalesce requests across a refresh boundary.
+        self._version = 0
 
     # -------------------------------------------------------------- refresh
     def refresh(self, learned: LearnedModel) -> None:
@@ -103,6 +109,20 @@ class CausalInferenceEngine:
         incremental case — a handful of new samples, an unchanged or
         locally-changed graph — most rankings survive, so Stage III/V
         queries after the refresh skip the expensive path re-extraction.
+
+        Parameters
+        ----------
+        learned:
+            The updated model, normally the return value of
+            :meth:`repro.discovery.pipeline.CausalModelLearner.update` on
+            the model this engine was built from.
+
+        Notes
+        -----
+        Every refresh bumps :attr:`model_version`, which is how concurrent
+        consumers holding this engine (e.g. the service layer's
+        :class:`~repro.service.registry.ModelRegistry`) detect that cached
+        answers predate the rebind.
         """
         old_graph = self._learned.graph
         changed_nodes = self._changed_edge_nodes(old_graph, learned.graph)
@@ -123,6 +143,7 @@ class CausalInferenceEngine:
                 self._path_cache_age.pop(key, None)
             else:
                 self._path_cache_age[key] = age
+        self._version += 1
 
     @staticmethod
     def _changed_edge_nodes(old: MixedGraph, new: MixedGraph) -> set[str]:
@@ -155,7 +176,19 @@ class CausalInferenceEngine:
 
     # ------------------------------------------------------------ properties
     @property
+    def model_version(self) -> int:
+        """Number of :meth:`refresh` calls this engine has absorbed.
+
+        A cheap monotonic handle for concurrent reuse: two answers computed
+        at the same ``model_version`` came from the same graph, equations
+        and data, so they may be coalesced, cached together or compared
+        byte-for-byte.
+        """
+        return self._version
+
+    @property
     def learned_model(self) -> LearnedModel:
+        """The :class:`LearnedModel` currently backing this engine."""
         return self._learned
 
     @property
@@ -188,6 +221,32 @@ class CausalInferenceEngine:
                                      domains=self._domains,
                                      max_contexts=self._max_contexts,
                                      evaluator=self._evaluator())
+
+    def causal_effects_batch(self, options: Sequence[str],
+                             objective: str) -> list[float]:
+        """Signed ACE of many options on one objective in one batched sweep.
+
+        The coalesced form of :meth:`causal_effect`: all option value
+        sweeps go through one vectorized interventional call, and each
+        returned effect is bitwise equal to the corresponding standalone
+        :meth:`causal_effect` (see
+        :func:`repro.inference.effects.average_causal_effects_batch`).
+
+        Parameters
+        ----------
+        options:
+            Options to sweep.
+        objective:
+            The objective the effects are measured on.
+
+        Returns
+        -------
+        list of float
+            One signed ACE per option, in ``options`` order.
+        """
+        return average_causal_effects_batch(
+            self._fitted, objective, list(options), domains=self._domains,
+            max_contexts=self._max_contexts, evaluator=self._evaluator())
 
     def option_effects(self, objective: str,
                        options: Sequence[str] | None = None) -> dict[str, float]:
@@ -228,6 +287,22 @@ class CausalInferenceEngine:
 
     def interventional_expectation(self, objective: str,
                                    intervention: Mapping[str, float]) -> float:
+        """``E[objective | do(intervention)]`` over the observed contexts.
+
+        Parameters
+        ----------
+        objective:
+            The outcome variable.
+        intervention:
+            Option name → forced value; the empirical analogue of
+            truncated factorisation replays every observed context with
+            these values clamped.
+
+        Returns
+        -------
+        float
+            The estimated interventional expectation.
+        """
         if self._use_batched:
             return float(self._batched.interventional_expectation_batch(
                 objective, [intervention],
@@ -277,6 +352,23 @@ class CausalInferenceEngine:
     # ---------------------------------------------------------------- repairs
     def root_causes(self, objectives: Mapping[str, str],
                     limit: int | None = None) -> list[str]:
+        """Root-cause options for a fault on these objectives.
+
+        The intervenable options appearing on the top-ranked causal
+        paths into the objectives, in ranking order.
+
+        Parameters
+        ----------
+        objectives:
+            Objective name → optimization direction.
+        limit:
+            Keep at most this many options (``None`` keeps all).
+
+        Returns
+        -------
+        list of str
+            Candidate root-cause option names, most influential first.
+        """
         paths = self.ranked_paths(list(objectives))
         return root_cause_options(paths, self.constraints, limit=limit)
 

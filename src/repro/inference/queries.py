@@ -79,7 +79,52 @@ class PerformanceQuery:
     description: str = ""
 
     def direction(self, objective: str) -> str:
+        """Optimization direction recorded for ``objective``.
+
+        Parameters
+        ----------
+        objective:
+            Name of an objective present in :attr:`objectives`.
+
+        Returns
+        -------
+        str
+            ``"minimize"`` or ``"maximize"``.
+
+        Raises
+        ------
+        KeyError
+            If the query does not mention ``objective``.
+        """
         return self.objectives[objective]
+
+    def batch_key(self) -> tuple:
+        """Canonical hashable descriptor of this query's *semantics*.
+
+        Two queries with equal batch keys are guaranteed to produce the
+        same answer against the same model version: the key captures the
+        kind, the (sorted) objective directions, the constraints and the
+        (sorted) intervention — everything the engine reads — while
+        ignoring the free-text :attr:`description`.  The request batcher of
+        the serving layer groups and deduplicates concurrently submitted
+        queries by this key, so a hot query asked by many clients at once
+        is evaluated exactly once per model version.
+
+        Returns
+        -------
+        tuple
+            A nested tuple usable as a dict key.
+        """
+        return (self.kind.value,
+                tuple(sorted((str(k), str(v))
+                             for k, v in self.objectives.items())),
+                tuple(sorted(((c.objective, c.direction, c.threshold)
+                              for c in self.constraints),
+                             key=lambda t: (t[0], t[1], t[2] is not None,
+                                            t[2] if t[2] is not None
+                                            else 0.0))),
+                tuple(sorted((str(k), float(v))
+                             for k, v in self.intervention.items())))
 
     @classmethod
     def root_cause(cls, objectives: Mapping[str, str],

@@ -59,6 +59,7 @@ class LinearMechanism:
         return self._intercept
 
     def evaluate(self, parent_values: Mapping[str, float]) -> float:
+        """The affine combination of the parent values."""
         total = self._intercept
         for parent, coefficient in self._coefficients.items():
             total += coefficient * float(parent_values[parent])
@@ -66,6 +67,7 @@ class LinearMechanism:
 
     def evaluate_batch(self, parent_columns: Mapping[str, np.ndarray],
                        n_rows: int) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over ``(n_rows,)`` parent columns."""
         total = np.full(n_rows, self._intercept, dtype=float)
         for parent, coefficient in self._coefficients.items():
             total += coefficient * np.asarray(parent_columns[parent],
@@ -103,6 +105,7 @@ class InteractionMechanism:
         return tuple(names)
 
     def evaluate(self, parent_values: Mapping[str, float]) -> float:
+        """Linear terms plus the multiplicative interaction terms."""
         total = self._intercept
         for parent, coefficient in self._linear.items():
             total += coefficient * float(parent_values[parent])
@@ -115,6 +118,7 @@ class InteractionMechanism:
 
     def evaluate_batch(self, parent_columns: Mapping[str, np.ndarray],
                        n_rows: int) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over ``(n_rows,)`` parent columns."""
         total = np.full(n_rows, self._intercept, dtype=float)
         for parent, coefficient in self._linear.items():
             total += coefficient * np.asarray(parent_columns[parent],
@@ -148,6 +152,7 @@ class PolynomialMechanism:
         return tuple(self._terms)
 
     def evaluate(self, parent_values: Mapping[str, float]) -> float:
+        """Sum of the per-parent polynomial contributions."""
         total = self._intercept
         for parent, coefficients in self._terms.items():
             value = float(parent_values[parent])
@@ -157,6 +162,7 @@ class PolynomialMechanism:
 
     def evaluate_batch(self, parent_columns: Mapping[str, np.ndarray],
                        n_rows: int) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over ``(n_rows,)`` parent columns."""
         total = np.full(n_rows, self._intercept, dtype=float)
         for parent, coefficients in self._terms.items():
             value = np.asarray(parent_columns[parent], dtype=float)
@@ -192,6 +198,7 @@ class SaturatingMechanism:
         return (self._driver, *self._modifiers)
 
     def evaluate(self, parent_values: Mapping[str, float]) -> float:
+        """Saturating response in the driver plus linear modifier terms."""
         x = max(float(parent_values[self._driver]), 0.0)
         value = self._baseline + self._scale * x / (x + self._half_point)
         for parent, coefficient in self._modifiers.items():
@@ -200,6 +207,7 @@ class SaturatingMechanism:
 
     def evaluate_batch(self, parent_columns: Mapping[str, np.ndarray],
                        n_rows: int) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over ``(n_rows,)`` parent columns."""
         x = np.maximum(np.asarray(parent_columns[self._driver], dtype=float),
                        0.0)
         value = self._baseline + self._scale * x / (x + self._half_point)
@@ -237,6 +245,7 @@ class CategoricalTableMechanism:
         return (self._selector, *self._linear)
 
     def evaluate(self, parent_values: Mapping[str, float]) -> float:
+        """Table contribution of the selector plus linear terms."""
         key = float(parent_values[self._selector])
         total = self._intercept + self._table.get(key, self._default)
         for parent, coefficient in self._linear.items():
@@ -245,6 +254,7 @@ class CategoricalTableMechanism:
 
     def evaluate_batch(self, parent_columns: Mapping[str, np.ndarray],
                        n_rows: int) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over ``(n_rows,)`` parent columns."""
         keys = np.asarray(parent_columns[self._selector], dtype=float)
         looked_up = np.full(n_rows, self._default, dtype=float)
         # Exact float equality, matching the scalar dict lookup.
@@ -280,11 +290,13 @@ class ClippedMechanism:
         return self._inner.parents
 
     def evaluate(self, parent_values: Mapping[str, float]) -> float:
+        """The inner mechanism's value, clipped to ``[lower, upper]``."""
         return float(min(max(self._inner.evaluate(parent_values),
                              self._lower), self._upper))
 
     def evaluate_batch(self, parent_columns: Mapping[str, np.ndarray],
                        n_rows: int) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over ``(n_rows,)`` parent columns."""
         from repro.scm.batched import evaluate_mechanism_batch
 
         inner = evaluate_mechanism_batch(self._inner, parent_columns, n_rows)

@@ -1,0 +1,74 @@
+"""The concurrent query-serving layer.
+
+Everything below :mod:`repro.core` answers one query at a time for one
+caller; this package fronts the same engines for many concurrent clients:
+
+* :mod:`repro.service.requests` — typed request/response dataclasses, one
+  per public query kind (ACE, prediction, interventional effect,
+  satisfaction probability, repair scan).
+* :mod:`repro.service.registry` — :class:`ModelRegistry`: LRU-bounded,
+  content-hash-keyed residency of fitted per-subject models, refreshed
+  incrementally as new observations arrive.
+* :mod:`repro.service.batcher` — :class:`RequestBatcher`: coalesces
+  concurrently submitted queries of one kind against one model version
+  into single batched engine calls, byte-identical to one-at-a-time
+  dispatch.
+* :mod:`repro.service.service` — :class:`QueryService`: the thread-safe
+  ``submit`` / ``submit_many`` facade with admission control and
+  per-subject fairness.
+* :mod:`repro.service.workload` — deterministic mixed workloads for
+  tests, benchmarks and demos.
+
+See ``docs/serving.md`` for the architecture narrative and
+``docs/query-api.md`` for the per-query reference.
+"""
+
+from repro.service.batcher import RequestBatcher
+from repro.service.registry import ModelEntry, ModelRegistry, UnknownSubjectError
+from repro.service.requests import (
+    AceRequest,
+    EffectRequest,
+    PredictRequest,
+    QueryRequest,
+    QueryResponse,
+    RepairRequest,
+    SatisfactionRequest,
+    ServiceKind,
+    repair_payload,
+)
+from repro.service.service import (
+    AdmissionError,
+    QueryService,
+    ServiceClosedError,
+    ServiceStats,
+)
+from repro.service.workload import (
+    canonical_answers,
+    latency_percentiles,
+    mixed_workload,
+    serve_concurrently,
+)
+
+__all__ = [
+    "AceRequest",
+    "AdmissionError",
+    "EffectRequest",
+    "ModelEntry",
+    "ModelRegistry",
+    "PredictRequest",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "RepairRequest",
+    "RequestBatcher",
+    "SatisfactionRequest",
+    "ServiceClosedError",
+    "ServiceKind",
+    "ServiceStats",
+    "UnknownSubjectError",
+    "mixed_workload",
+    "latency_percentiles",
+    "repair_payload",
+    "serve_concurrently",
+    "canonical_answers",
+]

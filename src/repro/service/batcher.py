@@ -1,0 +1,243 @@
+"""Coalescing dispatch of concurrent queries into batched engine calls.
+
+The batched evaluator (PR 3) makes one engine call over N inputs far cheaper
+than N calls over one input — but only offline harnesses exploited it.  The
+:class:`RequestBatcher` brings that to the serving path: requests drained
+from the service queue are grouped by ``(subject, model_version,
+group_key)``, deduplicated by item key within each group, and dispatched as
+single ``*_batch`` calls:
+
+===============  ====================================================
+kind             coalesced engine call
+===============  ====================================================
+``EFFECT``       one ``interventional_expectations_batch`` per
+                 objective (distinct interventions become batch rows)
+``PREDICT``      one ``predict_batch`` per objectives-tuple
+``ACE``          one ``causal_effects_batch`` sweep per objective
+                 (distinct options share one interventional call)
+``SATISFACTION`` one ``satisfaction_probability`` per distinct
+                 (constraint, intervention) — already vectorized over
+                 the observed contexts internally
+``REPAIR``       one ``repair_set`` scan per distinct fault — already
+                 one batched counterfactual scan internally
+===============  ====================================================
+
+**Determinism contract.**  Coalescing never changes an answer: the batched
+equations accumulate feature terms elementwise per row
+(:meth:`repro.scm.fitting.FittedEquation.predict_batch`), so row ``i`` of an
+N-row batch is bitwise equal to the same query dispatched alone, and
+deduplicated requests receive the exact value their duplicate computed.
+``serial_dispatch`` is the one-at-a-time reference the tests and the
+throughput benchmark hold the coalesced path byte-identical to.  The scalar
+oracle remains available underneath both paths: a registry entry fitted
+with ``use_batched=False`` pins its engine to the scalar reference
+semantics, and the batcher works unchanged on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.service.registry import ModelEntry
+from repro.service.requests import (
+    QueryRequest,
+    QueryResponse,
+    ServiceKind,
+    repair_payload,
+)
+
+
+def _fresh_value(value: object) -> object:
+    """Independent copy of a JSON-like answer payload.
+
+    Answer values are floats, flat dicts or lists of (nested) dicts;
+    recursing over exactly those shapes is much cheaper than
+    ``copy.deepcopy`` on the hot fan-out path.
+    """
+    if isinstance(value, dict):
+        return {key: _fresh_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_fresh_value(item) for item in value]
+    return value
+
+
+class RequestBatcher:
+    """Groups, deduplicates and dispatches serving-layer requests.
+
+    Parameters
+    ----------
+    coalesce:
+        When ``False``, every request is dispatched as its own singleton
+        engine call in submission order — the one-at-a-time reference mode
+        (also available per call via :meth:`serial_dispatch`).
+    """
+
+    def __init__(self, coalesce: bool = True) -> None:
+        self.coalesce = bool(coalesce)
+        #: total engine calls issued / requests answered, for stats.
+        self.calls = 0
+        self.answered = 0
+
+    # -------------------------------------------------------------- dispatch
+    def dispatch(self, entry: ModelEntry,
+                 requests: Sequence[QueryRequest],
+                 dispatch_index: int = 0) -> list[QueryResponse]:
+        """Answer ``requests`` against one registry entry.
+
+        The entry's lock is held for the duration (engine caches are not
+        thread-safe); the answers come back aligned with ``requests``.
+
+        Parameters
+        ----------
+        entry:
+            Registry entry whose engine answers the batch; all requests
+            must name this entry's subject.
+        requests:
+            The drained requests (one group key per call is *not* required
+            — grouping happens here).
+        dispatch_index:
+            Sequence number stamped on the responses (drain-order handle).
+
+        Returns
+        -------
+        list of QueryResponse
+            One response per request, in request order; failures are
+            reported per-response via ``error`` rather than raised.
+        """
+        requests = list(requests)
+        with entry.lock:
+            if not self.coalesce:
+                return self._serial(entry, requests, dispatch_index)
+            return self._coalesced(entry, requests, dispatch_index)
+
+    def serial_dispatch(self, entry: ModelEntry,
+                        requests: Sequence[QueryRequest]
+                        ) -> list[QueryResponse]:
+        """One-at-a-time dispatch: the byte-identical reference path."""
+        with entry.lock:
+            return self._serial(entry, list(requests), 0)
+
+    # -------------------------------------------------------------- internals
+    def _serial(self, entry: ModelEntry, requests: list[QueryRequest],
+                dispatch_index: int) -> list[QueryResponse]:
+        responses = []
+        for request in requests:
+            try:
+                value = self._evaluate_one(entry, request)
+                responses.append(QueryResponse(
+                    request=request, subject=entry.key,
+                    model_version=entry.version, value=value,
+                    batched=False, batch_size=1,
+                    dispatch_index=dispatch_index))
+            except Exception as exc:  # noqa: BLE001 - per-request isolation
+                responses.append(QueryResponse(
+                    request=request, subject=entry.key,
+                    model_version=entry.version, value=None,
+                    batched=False, batch_size=1,
+                    dispatch_index=dispatch_index, error=str(exc)))
+            self.calls += 1
+            self.answered += 1
+        return responses
+
+    def _coalesced(self, entry: ModelEntry, requests: list[QueryRequest],
+                   dispatch_index: int) -> list[QueryResponse]:
+        # Group by group_key, preserving request order within each group.
+        groups: dict[tuple, list[int]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(request.group_key(), []).append(i)
+
+        responses: list[QueryResponse | None] = [None] * len(requests)
+        for indices in groups.values():
+            # Deduplicate by item key in first-appearance order.
+            distinct: dict[tuple, list[int]] = {}
+            for i in indices:
+                distinct.setdefault(requests[i].item_key(), []).append(i)
+            leaders = [fanout[0] for fanout in distinct.values()]
+            batch_size = len(leaders)
+            try:
+                values = self._evaluate_group(
+                    entry, [requests[i] for i in leaders])
+                errors: list[str | None] = [None] * batch_size
+                self.calls += 1
+            except Exception:  # noqa: BLE001 - fall back to isolate the
+                # offending request: re-evaluate the group one item at a
+                # time so only the request that actually fails reports an
+                # error.
+                self.calls += 1  # the failed group call was a real call
+                batch_size = 1  # answers now come from singleton calls
+                values, errors = [], []
+                for i in leaders:
+                    try:
+                        values.append(self._evaluate_one(entry, requests[i]))
+                        errors.append(None)
+                    except Exception as exc:  # noqa: BLE001
+                        values.append(None)
+                        errors.append(str(exc))
+                    self.calls += 1
+            for value, error, fanout in zip(values, errors,
+                                            distinct.values()):
+                for j, i in enumerate(fanout):
+                    # Duplicates get their own copy of the (mutable)
+                    # answer, matching the serial path where every request
+                    # builds an independent object — a client mutating its
+                    # response must never change another client's.
+                    fanned = value if j == 0 else _fresh_value(value)
+                    responses[i] = QueryResponse(
+                        request=requests[i], subject=entry.key,
+                        model_version=entry.version, value=fanned,
+                        batched=True, batch_size=batch_size,
+                        dispatch_index=dispatch_index, error=error)
+                    self.answered += 1
+        # Every request index belongs to exactly one group.
+        return [r for r in responses if r is not None]
+
+    def _evaluate_group(self, entry: ModelEntry,
+                        leaders: list[QueryRequest]) -> list[object]:
+        """One engine call for a deduplicated group (aligned answers)."""
+        engine = entry.engine
+        kind = leaders[0].kind
+        if kind is ServiceKind.EFFECT:
+            objective = leaders[0].objective
+            values = engine.interventional_expectations_batch(
+                objective, [r.intervention_dict() for r in leaders])
+            return [float(v) for v in values]
+        if kind is ServiceKind.PREDICT:
+            objectives = list(leaders[0].objectives)
+            return engine.predict_batch(
+                [r.configuration_dict() for r in leaders], objectives)
+        if kind is ServiceKind.ACE:
+            objective = leaders[0].objective
+            return engine.causal_effects_batch(
+                [r.option for r in leaders], objective)
+        # SATISFACTION / REPAIR evaluate per distinct item: the engine call
+        # is already internally vectorized (satisfaction scans every
+        # observed context, a repair scan scores its whole candidate grid in
+        # one counterfactual call); coalescing still collapses duplicate
+        # requests to one call.
+        return [self._evaluate_one(entry, request) for request in leaders]
+
+    @staticmethod
+    def _evaluate_one(entry: ModelEntry, request: QueryRequest) -> object:
+        """The singleton engine call for one request (reference semantics)."""
+        engine = entry.engine
+        kind = request.kind
+        if kind is ServiceKind.ACE:
+            return float(engine.causal_effect(request.option,
+                                              request.objective))
+        if kind is ServiceKind.PREDICT:
+            return engine.predict_batch([request.configuration_dict()],
+                                        list(request.objectives))[0]
+        if kind is ServiceKind.EFFECT:
+            return float(engine.interventional_expectation(
+                request.objective, request.intervention_dict()))
+        if kind is ServiceKind.SATISFACTION:
+            return float(engine.satisfaction_probability(
+                request.constraint(), request.intervention_dict()))
+        if kind is ServiceKind.REPAIR:
+            repair_set = engine.repair_set(
+                dict(request.faulty_configuration),
+                dict(request.faulty_measurement),
+                request.objectives_dict(),
+                max_repairs=request.max_repairs)
+            return repair_payload(repair_set)
+        raise ValueError(f"unsupported request kind {kind!r}")

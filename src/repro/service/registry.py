@@ -1,0 +1,331 @@
+"""The model registry: per-subject fitted models behind the query service.
+
+A production deployment serves queries for many *subjects* — systems (or
+system × environment combinations) each with their own fitted causal
+performance model.  :class:`ModelRegistry` keeps those models:
+
+* **LRU-bounded** — at most ``capacity`` fitted models stay resident; the
+  least-recently-used entry is evicted when a new subject is fitted (an
+  eviction drops the model, not the subject: a later query re-fits it).
+* **Content-hash keyed** — a subject fitted from a spec is keyed by the
+  SHA-256 hash of the spec's canonical JSON (the same
+  :func:`~repro.evaluation.store.content_hash` the campaign artifact store
+  uses), so equal specs resolve to the same entry and never fit twice.
+* **Incrementally refreshed** — :meth:`ModelRegistry.observe` appends new
+  measurements and routes through :meth:`repro.core.unicorn.Unicorn.learn`,
+  whose incremental path (PR 1) updates the learner's structure in place
+  and refreshes the existing engine instead of rebuilding it; every refresh
+  bumps the entry's ``version`` so in-flight batches never mix model states.
+
+Entries carry a reentrant lock; the query service serializes engine calls
+and refreshes per entry through it (the engine's internal caches are not
+thread-safe), while distinct subjects proceed independently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Mapping, Sequence
+
+from repro.core.unicorn import LoopState, Unicorn, UnicornConfig
+from repro.evaluation.store import content_hash
+from repro.inference.engine import CausalInferenceEngine
+from repro.systems.base import Measurement
+from repro.systems.registry import get_system
+
+
+class UnknownSubjectError(KeyError):
+    """Raised when a request names a subject the registry does not hold."""
+
+
+class ModelEntry:
+    """One resident fitted model: the engine plus its maintenance handles.
+
+    Parameters
+    ----------
+    key:
+        Registry key (subject name or spec content hash).
+    unicorn:
+        The :class:`Unicorn` loop that owns the model; ``None`` for adopted
+        engines that cannot be refreshed.
+    state:
+        The loop state holding measurements, learned model and engine.
+    engine:
+        The query engine; defaults to ``state.engine``.
+    """
+
+    def __init__(self, key: str, unicorn: Unicorn | None,
+                 state: LoopState | None,
+                 engine: CausalInferenceEngine | None = None) -> None:
+        self.key = key
+        self.unicorn = unicorn
+        self.state = state
+        self._engine = engine
+        self._version = 0
+        #: serializes engine queries and refreshes for this entry.
+        self.lock = threading.RLock()
+        self.hits = 0
+
+    @property
+    def version(self) -> int:
+        """Model version stamped on responses served from this entry.
+
+        Registered entries count their own :meth:`ModelRegistry.observe`
+        refreshes; adopted entries mirror the engine's
+        :attr:`~repro.inference.engine.CausalInferenceEngine.model_version`
+        so a refresh of a shared engine is still visible in response
+        metadata.
+        """
+        if self.unicorn is None and self._engine is not None:
+            return self._engine.model_version
+        return self._version
+
+    def bump_version(self) -> int:
+        """Advance and return the entry's own refresh counter."""
+        self._version += 1
+        return self._version
+
+    @property
+    def engine(self) -> CausalInferenceEngine:
+        """The current query engine (tracks ``state.engine`` across
+        refreshes, which may replace the engine object on a cold relearn).
+
+        Raises
+        ------
+        UnknownSubjectError
+            If the entry holds no fitted engine (never fitted).
+        """
+        engine = self._engine
+        if self.state is not None and self.state.engine is not None:
+            engine = self.state.engine
+        if engine is None:
+            raise UnknownSubjectError(
+                f"registry entry {self.key!r} holds no fitted engine")
+        return engine
+
+    @property
+    def n_measurements(self) -> int:
+        """Number of measurements backing the current model (0 if adopted)."""
+        return self.state.samples_used if self.state is not None else 0
+
+
+class ModelRegistry:
+    """LRU-bounded, content-hash-keyed store of fitted subject models.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident fitted models; the least-recently-used
+        entry is evicted beyond it.
+    use_batched:
+        Whether models fitted by :meth:`get_or_fit` route queries through
+        the batched evaluator; ``False`` pins every fitted engine to the
+        scalar reference oracle (the differential-testing fallback).
+    """
+
+    def __init__(self, capacity: int = 8, use_batched: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError("registry capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.use_batched = bool(use_batched)
+        self._entries: OrderedDict[str, ModelEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    # ---------------------------------------------------------------- lookup
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, subject: str) -> bool:
+        return subject in self._entries
+
+    def subjects(self) -> list[str]:
+        """Keys of every resident entry, least-recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def get(self, subject: str) -> ModelEntry:
+        """Resident entry for ``subject``, marking it most-recently used.
+
+        Parameters
+        ----------
+        subject:
+            A name passed to :meth:`register` / :meth:`adopt`, or the spec
+            hash returned by :meth:`get_or_fit`.
+
+        Returns
+        -------
+        ModelEntry
+
+        Raises
+        ------
+        UnknownSubjectError
+            If no entry with that key is resident.
+        """
+        with self._lock:
+            entry = self._entries.get(subject)
+            if entry is None:
+                raise UnknownSubjectError(
+                    f"unknown subject {subject!r}; resident subjects: "
+                    f"{list(self._entries)}")
+            self._entries.move_to_end(subject)
+            entry.hits += 1
+            return entry
+
+    # ------------------------------------------------------------ population
+    def _insert(self, key: str, entry: ModelEntry,
+                keep_existing: bool = False) -> ModelEntry:
+        """Install ``entry`` under ``key``, evicting past ``capacity``.
+
+        With ``keep_existing`` the first resident entry wins and is
+        returned instead — the atomic resolution of a fit race, so every
+        caller of one key shares one (version-isolated) model.
+        """
+        with self._lock:
+            if keep_existing:
+                existing = self._entries.get(key)
+                if existing is not None:
+                    self._entries.move_to_end(key)
+                    existing.hits += 1
+                    return existing
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return entry
+
+    def register(self, subject: str, unicorn: Unicorn,
+                 state: LoopState | None = None) -> ModelEntry:
+        """Fit (if needed) and install a model under an explicit name.
+
+        Parameters
+        ----------
+        subject:
+            Registry key the entry will be addressed by.
+        unicorn:
+            The loop machinery owning the model.
+        state:
+            A fitted loop state; when ``None`` (or not yet fitted),
+            :meth:`Unicorn.fit` runs first.
+
+        Returns
+        -------
+        ModelEntry
+            The resident entry (possibly evicting the LRU entry).
+        """
+        if state is None or state.engine is None:
+            state = unicorn.fit(state.measurements if state else ())
+        return self._insert(subject, ModelEntry(subject, unicorn, state))
+
+    def adopt(self, subject: str, engine: CausalInferenceEngine
+              ) -> ModelEntry:
+        """Install a pre-built engine that the registry will not refresh.
+
+        Useful for serving a model fitted elsewhere (e.g. a ground-truth
+        structure in benchmarks); :meth:`observe` raises for such entries.
+
+        The adopting entry serializes *its own* queries through its lock,
+        but cannot see locks of other owners: if the engine is still
+        reachable elsewhere (another registry entry, an active loop), the
+        caller must guarantee it is not refreshed concurrently with
+        adopted-entry traffic.  The adopted entry's ``version`` mirrors
+        ``engine.model_version`` so refreshes done elsewhere at least
+        remain visible in response metadata.
+        """
+        return self._insert(subject, ModelEntry(subject, None, None,
+                                                engine=engine))
+
+    def get_or_fit(self, spec: Mapping[str, object]) -> ModelEntry:
+        """Resolve a subject *spec* to a resident entry, fitting on a miss.
+
+        Parameters
+        ----------
+        spec:
+            JSON-serializable description of the subject:
+            ``system`` (required, a :func:`repro.systems.registry.get_system`
+            name), and optionally ``hardware``, ``n_samples`` (default 60),
+            ``seed`` (default 0), ``max_condition_size`` (default 1) and
+            ``relevant_options``.  The canonical JSON of this mapping is
+            hashed into the registry key, so equal specs share one entry.
+
+        Returns
+        -------
+        ModelEntry
+            The (possibly freshly fitted) entry; its ``key`` is the spec's
+            content hash.
+
+        Raises
+        ------
+        KeyError
+            If ``spec`` lacks ``"system"`` or names an unknown system.
+        """
+        spec = dict(spec)
+        if "system" not in spec:
+            raise KeyError("subject spec needs a 'system' name")
+        key = content_hash(spec)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                entry.hits += 1
+                return entry
+        system = get_system(str(spec["system"]),
+                            hardware=spec.get("hardware"))
+        n_samples = int(spec.get("n_samples", 60))
+        config = UnicornConfig(
+            initial_samples=n_samples, budget=n_samples,
+            seed=int(spec.get("seed", 0)),
+            max_condition_size=int(spec.get("max_condition_size", 1)),
+            relevant_options=spec.get("relevant_options"),
+            batched_queries=self.use_batched)
+        unicorn = Unicorn(system, config)
+        state = unicorn.fit()
+        # The fit ran outside the lock; a concurrent get_or_fit of the same
+        # spec may have won the race.  keep_existing resolves it atomically:
+        # the first resident entry wins and the redundant fit is discarded.
+        return self._insert(key, ModelEntry(key, unicorn, state),
+                            keep_existing=True)
+
+    # --------------------------------------------------------------- refresh
+    def observe(self, subject: str,
+                measurements: Sequence[Measurement]) -> int:
+        """Fold new measurements into a subject's model incrementally.
+
+        Appends the measurements to the entry's loop state and re-learns
+        through :meth:`Unicorn.learn`, which routes repeat calls through the
+        PR 1 incremental path: the dataset grows in place (a new data
+        epoch), discovery warm-starts from the previous structure and the
+        existing engine is refreshed rather than rebuilt.  The entry's
+        ``version`` is bumped under its lock, so concurrent query batches
+        either complete against the old model or start against the new one
+        — never a mix.
+
+        Parameters
+        ----------
+        subject:
+            Registry key of the entry to refresh.
+        measurements:
+            New :class:`~repro.systems.base.Measurement` objects.
+
+        Returns
+        -------
+        int
+            The entry's new version.
+
+        Raises
+        ------
+        UnknownSubjectError
+            If the subject is not resident, or was adopted without
+            maintenance handles and therefore cannot be refreshed.
+        """
+        entry = self.get(subject)
+        if entry.unicorn is None or entry.state is None:
+            raise UnknownSubjectError(
+                f"subject {subject!r} was adopted without a Unicorn loop "
+                "and cannot be refreshed")
+        with entry.lock:
+            entry.state.measurements.extend(measurements)
+            entry.unicorn.learn(entry.state)
+            return entry.bump_version()

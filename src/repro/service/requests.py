@@ -1,0 +1,390 @@
+"""Typed request and response objects of the query-serving layer.
+
+Every query the serving layer accepts is a small frozen dataclass naming a
+*subject* (a model in the :class:`~repro.service.registry.ModelRegistry`)
+plus the query payload.  Requests are hashable value objects: the batcher
+groups them by :meth:`QueryRequest.group_key` (queries that can share one
+vectorized engine call) and deduplicates them by :meth:`QueryRequest.item_key`
+(queries guaranteed to produce the same answer against the same model
+version).  Where a request corresponds to one of the paper's performance
+queries it also converts to a :class:`~repro.inference.queries.
+PerformanceQuery` descriptor, whose ``batch_key`` is reused as the item key,
+so the serving layer and the offline engine speak the same query language.
+
+Construct requests either directly with canonical tuple fields or through
+the ``of`` classmethods, which accept plain mappings::
+
+    EffectRequest.of("sqlite", objective="QueryTime",
+                     intervention={"PRAGMA_CACHE_SIZE": 4096.0})
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.inference.queries import PerformanceQuery, QoSConstraint
+
+
+class ServiceKind(enum.Enum):
+    """The query kinds the serving layer dispatches.
+
+    ``ACE`` and ``PREDICT`` have no :class:`~repro.inference.queries.
+    QueryKind` counterpart (they are engine primitives rather than
+    paper-level performance queries); the other three map one-to-one.
+    """
+
+    ACE = "ace"
+    PREDICT = "predict"
+    EFFECT = "effect"
+    SATISFACTION = "satisfaction"
+    REPAIR = "repair"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceKind.{self.name}"
+
+
+def _pairs(mapping: Mapping[str, float]) -> tuple[tuple[str, float], ...]:
+    """Canonical (sorted, float-valued) tuple form of a mapping."""
+    return tuple(sorted((str(k), float(v)) for k, v in mapping.items()))
+
+
+def _str_pairs(mapping: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    """Canonical (sorted) tuple form of a string-valued mapping."""
+    return tuple(sorted((str(k), str(v)) for k, v in mapping.items()))
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Base class of every serving-layer request.
+
+    Parameters
+    ----------
+    subject:
+        Name (or registry key) of the fitted model this query runs against.
+    """
+
+    subject: str
+
+    @property
+    def kind(self) -> ServiceKind:
+        """Which query family this request belongs to."""
+        raise NotImplementedError
+
+    def group_key(self) -> tuple:
+        """Key under which requests may share one batched engine call.
+
+        Requests with equal group keys (against the same subject and model
+        version) are dispatched together; the default groups by kind only.
+        """
+        return (self.kind.value,)
+
+    def item_key(self) -> tuple:
+        """Canonical identity of the answer this request will receive.
+
+        Requests with equal item keys are interchangeable against one model
+        version: the batcher evaluates one of them and fans the answer out.
+        """
+        raise NotImplementedError
+
+    def to_performance_query(self) -> PerformanceQuery | None:
+        """The paper-level query descriptor, where one exists.
+
+        Returns
+        -------
+        PerformanceQuery or None
+            ``None`` for engine primitives (ACE, prediction) that have no
+            :class:`~repro.inference.queries.QueryKind` counterpart.
+        """
+        return None
+
+
+@dataclass(frozen=True)
+class AceRequest(QueryRequest):
+    """Average causal effect of one option on one objective.
+
+    Answered by :meth:`~repro.inference.engine.CausalInferenceEngine.
+    causal_effect`; the response value is the signed ACE (a float).
+    """
+
+    option: str = ""
+    objective: str = ""
+
+    @property
+    def kind(self) -> ServiceKind:
+        return ServiceKind.ACE
+
+    def group_key(self) -> tuple:
+        """ACE requests on one objective share one batched sweep."""
+        return (self.kind.value, self.objective)
+
+    def item_key(self) -> tuple:
+        """Identity: the (option, objective) pair."""
+        return (self.kind.value, self.option, self.objective)
+
+
+@dataclass(frozen=True)
+class PredictRequest(QueryRequest):
+    """Conditional-expectation prediction of objectives for a configuration.
+
+    Answered by :meth:`~repro.inference.engine.CausalInferenceEngine.
+    predict_batch`; the response value is an objective → prediction dict.
+    """
+
+    configuration: tuple[tuple[str, float], ...] = ()
+    objectives: tuple[str, ...] = ()
+
+    @classmethod
+    def of(cls, subject: str, configuration: Mapping[str, float],
+           objectives: Sequence[str]) -> "PredictRequest":
+        """Build from a plain configuration mapping and objective list."""
+        return cls(subject=subject, configuration=_pairs(configuration),
+                   objectives=tuple(objectives))
+
+    @property
+    def kind(self) -> ServiceKind:
+        return ServiceKind.PREDICT
+
+    def group_key(self) -> tuple:
+        """Predictions wanting the same objectives share one
+        ``predict_batch`` call regardless of their configurations."""
+        return (self.kind.value, self.objectives)
+
+    def item_key(self) -> tuple:
+        """Identity: the objectives plus the full configuration."""
+        return (self.kind.value, self.objectives, self.configuration)
+
+    def configuration_dict(self) -> dict[str, float]:
+        """The configuration as a plain mapping (engine argument form)."""
+        return dict(self.configuration)
+
+
+@dataclass(frozen=True)
+class EffectRequest(QueryRequest):
+    """Interventional expectation ``E[objective | do(intervention)]``.
+
+    Answered by :meth:`~repro.inference.engine.CausalInferenceEngine.
+    interventional_expectations_batch`; the response value is a float.
+    """
+
+    objective: str = ""
+    intervention: tuple[tuple[str, float], ...] = ()
+
+    @classmethod
+    def of(cls, subject: str, objective: str,
+           intervention: Mapping[str, float]) -> "EffectRequest":
+        """Build from a plain intervention mapping."""
+        return cls(subject=subject, objective=objective,
+                   intervention=_pairs(intervention))
+
+    @property
+    def kind(self) -> ServiceKind:
+        return ServiceKind.EFFECT
+
+    def group_key(self) -> tuple:
+        """One vectorized sweep per objective: the engine's batch entry
+        point takes one target and many interventions."""
+        return (self.kind.value, self.objective)
+
+    def item_key(self) -> tuple:
+        """Identity: the descriptor's :meth:`PerformanceQuery.batch_key`."""
+        query = self.to_performance_query()
+        return (self.kind.value, query.batch_key())
+
+    def intervention_dict(self) -> dict[str, float]:
+        """The intervention as a plain mapping (engine argument form)."""
+        return dict(self.intervention)
+
+    def to_performance_query(self) -> PerformanceQuery:
+        """The :class:`~repro.inference.queries.QueryKind.EFFECT`
+        descriptor of this request (direction is immaterial to the
+        interventional expectation and pinned to ``minimize``)."""
+        return PerformanceQuery.effect_of(
+            intervention=dict(self.intervention),
+            objectives={self.objective: "minimize"})
+
+
+@dataclass(frozen=True)
+class SatisfactionRequest(QueryRequest):
+    """``P(objective meets threshold | do(intervention))``.
+
+    Answered by :meth:`~repro.inference.engine.CausalInferenceEngine.
+    satisfaction_probability` (already vectorized over the observed
+    contexts); identical concurrent requests are evaluated once.  The
+    response value is a probability in ``[0, 1]``.
+    """
+
+    objective: str = ""
+    direction: str = "minimize"
+    threshold: float | None = None
+    intervention: tuple[tuple[str, float], ...] = ()
+
+    @classmethod
+    def of(cls, subject: str, constraint: QoSConstraint,
+           intervention: Mapping[str, float]) -> "SatisfactionRequest":
+        """Build from a :class:`QoSConstraint` and an intervention mapping."""
+        return cls(subject=subject, objective=constraint.objective,
+                   direction=constraint.direction,
+                   threshold=constraint.threshold,
+                   intervention=_pairs(intervention))
+
+    @property
+    def kind(self) -> ServiceKind:
+        return ServiceKind.SATISFACTION
+
+    def item_key(self) -> tuple:
+        """Identity: the descriptor's :meth:`PerformanceQuery.batch_key`."""
+        query = self.to_performance_query()
+        return (self.kind.value, query.batch_key())
+
+    def constraint(self) -> QoSConstraint:
+        """The QoS constraint in the engine's argument form."""
+        return QoSConstraint(self.objective, self.direction, self.threshold)
+
+    def intervention_dict(self) -> dict[str, float]:
+        """The intervention as a plain mapping (engine argument form)."""
+        return dict(self.intervention)
+
+    def to_performance_query(self) -> PerformanceQuery:
+        """The :class:`~repro.inference.queries.QueryKind.SATISFACTION`
+        descriptor of this request."""
+        return PerformanceQuery.satisfaction(
+            intervention=dict(self.intervention),
+            constraint=self.constraint())
+
+
+@dataclass(frozen=True)
+class RepairRequest(QueryRequest):
+    """Counterfactual repair scan for a performance fault.
+
+    Answered by :meth:`~repro.inference.engine.CausalInferenceEngine.
+    repair_set` (one batched counterfactual scan over the candidate grid);
+    identical concurrent requests are evaluated once.  The response value is
+    the ranked repair list in JSON form (see
+    :func:`repair_payload`).
+    """
+
+    objectives: tuple[tuple[str, str], ...] = ()
+    faulty_configuration: tuple[tuple[str, float], ...] = ()
+    faulty_measurement: tuple[tuple[str, float], ...] = ()
+    max_repairs: int = 300
+
+    @classmethod
+    def of(cls, subject: str, objectives: Mapping[str, str],
+           faulty_configuration: Mapping[str, float],
+           faulty_measurement: Mapping[str, float],
+           max_repairs: int = 300) -> "RepairRequest":
+        """Build from plain mappings of the fault and its objectives."""
+        return cls(subject=subject, objectives=_str_pairs(objectives),
+                   faulty_configuration=_pairs(faulty_configuration),
+                   faulty_measurement=_pairs(faulty_measurement),
+                   max_repairs=int(max_repairs))
+
+    @property
+    def kind(self) -> ServiceKind:
+        return ServiceKind.REPAIR
+
+    def item_key(self) -> tuple:
+        """Identity: the repair descriptor's batch key plus the fault
+        (configuration, measurement) and the candidate cap."""
+        query = self.to_performance_query()
+        return (self.kind.value, query.batch_key(),
+                self.faulty_configuration, self.faulty_measurement,
+                self.max_repairs)
+
+    def objectives_dict(self) -> dict[str, str]:
+        """Objective → direction mapping (engine argument form)."""
+        return dict(self.objectives)
+
+    def to_performance_query(self) -> PerformanceQuery:
+        """The :class:`~repro.inference.queries.QueryKind.REPAIR`
+        descriptor of this request."""
+        return PerformanceQuery.repair(objectives=dict(self.objectives))
+
+
+def repair_payload(repair_set) -> list[dict]:
+    """JSON form of a ranked :class:`~repro.inference.repairs.RepairSet`.
+
+    Rank order is preserved; each entry carries the changed options, the
+    ICE score, the raw improvement and the predicted objective values —
+    everything a client needs to apply or display the repair.
+
+    Parameters
+    ----------
+    repair_set:
+        The :class:`~repro.inference.repairs.RepairSet` to serialize.
+
+    Returns
+    -------
+    list of dict
+        One dict per repair, in ranking order.
+    """
+    return [{"changes": {k: float(v) for k, v in repair.changes},
+             "ice": float(repair.ice),
+             "improvement": float(repair.improvement),
+             "predicted": {k: float(v) for k, v in repair.predicted}}
+            for repair in repair_set]
+
+
+@dataclass
+class QueryResponse:
+    """Answer to one serving-layer request.
+
+    Parameters
+    ----------
+    request:
+        The request this response answers.
+    subject:
+        Registry subject that served it.
+    model_version:
+        The registry entry's version at evaluation time; answers with equal
+        ``(subject, model_version)`` came from the same model state.
+    value:
+        The answer payload: a float (ACE, effect, satisfaction), an
+        objective → value dict (prediction) or a ranked repair list
+        (repair; see :func:`repair_payload`).
+    batched:
+        Whether the answer came out of a coalesced batch call (``False``
+        on the one-at-a-time reference path).
+    batch_size:
+        Number of requests dispatched in the same engine call (after
+        deduplication; 1 on the serial path).
+    dispatch_index:
+        Monotonic sequence number of the dispatch group that produced the
+        answer — exposes drain order for fairness tests and tracing.
+    latency_seconds:
+        Wall-clock time from submission to answer (0.0 when dispatched
+        synchronously without queueing).
+    error:
+        ``None`` on success; otherwise a message describing the failure
+        (the ``value`` is then ``None``).
+    """
+
+    request: QueryRequest
+    subject: str
+    model_version: int
+    value: object
+    batched: bool = False
+    batch_size: int = 1
+    dispatch_index: int = 0
+    latency_seconds: float = 0.0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request was answered without error."""
+        return self.error is None
+
+    def canonical_value(self) -> object:
+        """The answer in canonical JSON-comparable form.
+
+        Floats are kept as-is (byte-identity comparisons rely on exact
+        values); dicts are key-sorted via the canonical JSON round-trip
+        performed by the caller.  Used by the determinism tests and the
+        benchmark to compare coalesced against one-at-a-time answers.
+        """
+        return {"item": list(map(str, self.request.item_key())),
+                "value": self.value,
+                "model_version": self.model_version,
+                "error": self.error}

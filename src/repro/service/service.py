@@ -1,0 +1,428 @@
+"""The thread-safe query-serving facade.
+
+:class:`QueryService` is what a deployment exposes to its clients: a
+``submit`` / ``submit_many`` surface over the
+:class:`~repro.service.registry.ModelRegistry` and
+:class:`~repro.service.batcher.RequestBatcher`.  Client threads enqueue
+requests and block on futures; a dispatcher thread drains the queue in
+small timed windows, groups what arrived together, and answers each group
+with one batched engine call.  The lifecycle of a request is::
+
+    submit() ──admission──▶ per-subject queue ──drain──▶ RequestBatcher
+                                                            │ one *_batch
+                                                            ▼ engine call
+    client ◀────────────── future.result() ◀──────────── QueryResponse
+
+Three serving policies are enforced here rather than in the batcher:
+
+* **Admission control** — at most ``max_pending`` requests may be queued;
+  beyond that :meth:`submit` raises :class:`AdmissionError` immediately
+  (backpressure the caller can see) instead of growing an unbounded queue.
+* **Per-subject fairness** — the drain loop round-robins across subjects,
+  taking at most ``fairness_quantum`` requests from each per turn, so one
+  hot subject cannot starve the others no matter how deep its backlog.
+* **Version isolation** — a drained group is answered under its registry
+  entry's lock at one model version; a concurrent
+  :meth:`~repro.service.registry.ModelRegistry.observe` refresh either
+  happens before the group (all answers carry the new version) or after
+  (all the old) — never in between.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.service.batcher import RequestBatcher
+from repro.service.registry import ModelRegistry
+from repro.service.requests import QueryRequest, QueryResponse
+
+
+class ServiceClosedError(RuntimeError):
+    """Raised when submitting to a service that has been closed."""
+
+
+class AdmissionError(RuntimeError):
+    """Raised when the bounded in-flight queue rejects a submission."""
+
+
+@dataclass
+class ServiceStats:
+    """Counters describing one service's lifetime of work.
+
+    ``coalesced_ratio`` is requests answered per engine call — the
+    serving-layer speedup lever (1.0 means no coalescing happened).
+    """
+
+    submitted: int = 0
+    answered: int = 0
+    rejected: int = 0
+    dispatches: int = 0
+    engine_calls: int = 0
+    max_batch_observed: int = 0
+    #: futures that could not be resolved (client cancelled them while
+    #: queued) and dispatch rounds that raised unexpectedly — both are
+    #: absorbed so the dispatcher thread survives.
+    cancelled: int = 0
+    dispatch_errors: int = 0
+    per_subject: dict = field(default_factory=dict)
+
+    @property
+    def coalesced_ratio(self) -> float:
+        """Requests answered per engine call (>= 1.0 once work happened)."""
+        return self.answered / max(self.engine_calls, 1)
+
+
+@dataclass
+class _Pending:
+    """A queued request with its future and enqueue timestamp."""
+
+    request: QueryRequest
+    future: Future
+    enqueued_at: float
+
+
+class QueryService:
+    """Concurrent query-serving facade over a model registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`ModelRegistry` holding the fitted subject models.
+    batcher:
+        The dispatch strategy; defaults to a coalescing
+        :class:`RequestBatcher` (pass ``RequestBatcher(coalesce=False)``
+        for the one-at-a-time reference mode).
+    batch_window:
+        Seconds the dispatcher waits after the first pending request for
+        more to arrive before draining — the coalescing opportunity window.
+    max_pending:
+        Bound on queued requests; beyond it :meth:`submit` raises
+        :class:`AdmissionError`.
+    max_batch:
+        Most requests drained per dispatch round, across all subjects.
+    fairness_quantum:
+        Most requests drained from any one subject per round.
+    auto_start:
+        Start the dispatcher thread immediately; pass ``False`` to enqueue
+        first and :meth:`start` later (used by backpressure tests).
+
+    Examples
+    --------
+    >>> registry = ModelRegistry()
+    >>> registry.register("cache", unicorn)            # doctest: +SKIP
+    >>> with QueryService(registry) as service:        # doctest: +SKIP
+    ...     response = service.submit(
+    ...         EffectRequest.of("cache", "Throughput",
+    ...                          {"CachePolicy": 0.0}))
+    """
+
+    def __init__(self, registry: ModelRegistry,
+                 batcher: RequestBatcher | None = None,
+                 batch_window: float = 0.002,
+                 max_pending: int = 1024,
+                 max_batch: int = 256,
+                 fairness_quantum: int = 32,
+                 auto_start: bool = True) -> None:
+        if max_pending < 1 or max_batch < 1 or fairness_quantum < 1:
+            raise ValueError("queue bounds must be >= 1")
+        self.registry = registry
+        self.batcher = batcher if batcher is not None else RequestBatcher()
+        self.batch_window = float(batch_window)
+        self.max_pending = int(max_pending)
+        self.max_batch = int(max_batch)
+        self.fairness_quantum = int(fairness_quantum)
+        self.stats = ServiceStats()
+
+        #: per-subject FIFO queues, in subject-arrival order; the drain
+        #: loop round-robins over this OrderedDict for fairness.
+        self._queues: "OrderedDict[str, deque[_Pending]]" = OrderedDict()
+        self._n_pending = 0
+        self._cv = threading.Condition()
+        self._closed = False
+        self._dispatch_index = 0
+        self._thread: threading.Thread | None = None
+        if auto_start:
+            self.start()
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start the dispatcher thread (idempotent)."""
+        with self._cv:
+            if self._closed:
+                raise ServiceClosedError("service already closed")
+            if self._thread is not None:
+                return
+            self._thread = threading.Thread(target=self._dispatch_loop,
+                                            name="query-service-dispatcher",
+                                            daemon=True)
+            self._thread.start()
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Drain outstanding work and stop the dispatcher.
+
+        Requests already queued are still answered by the dispatcher
+        before it exits; new submissions raise
+        :class:`ServiceClosedError`.  If no dispatcher will ever run
+        (never started, or it died within ``timeout``), the leftover
+        futures are cancelled so no client blocks forever.
+        """
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                # The dispatcher outlived the join timeout but is still
+                # working; it will answer the admitted requests and exit
+                # on its own — cancelling them here would drop work the
+                # docstring promises to finish.
+                return
+        with self._cv:
+            leftovers = [pending for queue in self._queues.values()
+                         for pending in queue]
+            self._queues.clear()
+            self._n_pending = 0
+        for pending in leftovers:
+            if pending.future.cancel():
+                self.stats.cancelled += 1
+
+    def __enter__(self) -> "QueryService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ submission
+    def submit_async(self, request: QueryRequest) -> Future:
+        """Enqueue one request and return its :class:`Future`.
+
+        The future resolves to a :class:`QueryResponse` (engine failures
+        surface in ``response.error``, not as future exceptions).
+
+        Raises
+        ------
+        AdmissionError
+            If the bounded queue is full — the backpressure signal; retry
+            after backing off or after outstanding futures resolve.
+        ServiceClosedError
+            If the service has been closed.
+        UnknownSubjectError
+            If the request names a subject the registry does not hold.
+        """
+        self.registry.get(request.subject)  # validate before queueing
+        pending = _Pending(request=request, future=Future(),
+                           enqueued_at=time.perf_counter())
+        with self._cv:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            if self._n_pending >= self.max_pending:
+                self.stats.rejected += 1
+                raise AdmissionError(
+                    f"in-flight queue full ({self.max_pending} pending); "
+                    "back off and retry")
+            self._queues.setdefault(request.subject,
+                                    deque()).append(pending)
+            self._n_pending += 1
+            self.stats.submitted += 1
+            self._cv.notify_all()
+        return pending.future
+
+    def submit(self, request: QueryRequest,
+               timeout: float | None = None) -> QueryResponse:
+        """Enqueue one request and block until its response arrives.
+
+        Parameters
+        ----------
+        request:
+            Any :mod:`repro.service.requests` request.
+        timeout:
+            Seconds to wait for the answer (``None`` waits indefinitely).
+
+        Returns
+        -------
+        QueryResponse
+
+        Raises
+        ------
+        AdmissionError
+            If the queue rejected the submission (see :meth:`submit_async`).
+        concurrent.futures.TimeoutError
+            If the answer did not arrive within ``timeout``.
+        """
+        return self.submit_async(request).result(timeout=timeout)
+
+    def submit_many(self, requests: Sequence[QueryRequest],
+                    timeout: float | None = None) -> list[QueryResponse]:
+        """Enqueue a list of requests and wait for all their responses.
+
+        The list is admitted atomically (all requests or none), so a
+        client's coherent batch cannot be half-rejected.
+
+        Raises
+        ------
+        AdmissionError
+            If the whole list does not fit in the queue.
+        """
+        requests = list(requests)
+        deadline = (None if timeout is None
+                    else time.monotonic() + float(timeout))
+        for request in requests:
+            self.registry.get(request.subject)
+        futures = []
+        with self._cv:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            if self._n_pending + len(requests) > self.max_pending:
+                self.stats.rejected += len(requests)
+                raise AdmissionError(
+                    f"in-flight queue cannot admit {len(requests)} more "
+                    f"requests ({self._n_pending}/{self.max_pending} used)")
+            now = time.perf_counter()
+            for request in requests:
+                pending = _Pending(request=request, future=Future(),
+                                   enqueued_at=now)
+                self._queues.setdefault(request.subject,
+                                        deque()).append(pending)
+                futures.append(pending.future)
+            self._n_pending += len(requests)
+            self.stats.submitted += len(requests)
+            self._cv.notify_all()
+        # One shared deadline: ``timeout`` bounds the whole call, not each
+        # future individually.
+        return [future.result(
+                    timeout=None if deadline is None
+                    else max(deadline - time.monotonic(), 0.0))
+                for future in futures]
+
+    @property
+    def n_pending(self) -> int:
+        """Requests currently queued (not yet dispatched)."""
+        with self._cv:
+            return self._n_pending
+
+    # --------------------------------------------------------------- dispatch
+    def _dispatch_loop(self) -> None:
+        """Dispatcher thread: wait, window, drain fairly, answer."""
+        while True:
+            with self._cv:
+                while not self._n_pending and not self._closed:
+                    self._cv.wait()
+                if self._closed and not self._n_pending:
+                    return
+            # Let a burst of concurrent submissions accumulate so they can
+            # be coalesced; clients blocked on futures are waiting anyway.
+            if self.batch_window > 0:
+                time.sleep(self.batch_window)
+            batch = self._drain()
+            if batch:
+                try:
+                    self._answer(batch)
+                except Exception as exc:  # noqa: BLE001 - the dispatcher
+                    # must survive anything _answer lets through (it
+                    # already isolates engine errors per response); a dead
+                    # dispatcher would hang every future submission.  The
+                    # drained futures of the failed round were removed
+                    # from the queues, so resolve them with an error
+                    # instead of leaving their clients blocked forever.
+                    self.stats.dispatch_errors += 1
+                    for pendings in batch.values():
+                        for pending in pendings:
+                            self._resolve(pending, QueryResponse(
+                                request=pending.request,
+                                subject=pending.request.subject,
+                                model_version=-1, value=None,
+                                error=f"dispatch round failed: {exc}"))
+
+    def _drain(self) -> "OrderedDict[str, list[_Pending]]":
+        """Take up to ``max_batch`` pending requests, round-robin by subject.
+
+        Each pass over the subject queues takes at most
+        ``fairness_quantum`` requests per subject, so a deep backlog on one
+        subject cannot monopolise a drain round.  A subject that was
+        served but still has a backlog is rotated to the back of the
+        queue order, so when one round cannot reach every subject the
+        next round starts with the subjects this one skipped — no subject
+        starves no matter how many are backlogged.
+        """
+        drained: "OrderedDict[str, list[_Pending]]" = OrderedDict()
+        with self._cv:
+            budget = self.max_batch
+            while budget > 0:
+                took_any = False
+                for subject in list(self._queues):
+                    queue = self._queues[subject]
+                    quantum = min(self.fairness_quantum, budget)
+                    taken = drained.setdefault(subject, [])
+                    while queue and quantum > 0:
+                        taken.append(queue.popleft())
+                        self._n_pending -= 1
+                        quantum -= 1
+                        budget -= 1
+                        took_any = True
+                    if not queue:
+                        del self._queues[subject]
+                    else:
+                        self._queues.move_to_end(subject)
+                    if budget <= 0:
+                        break
+                if not took_any:
+                    break
+            self._cv.notify_all()
+        return OrderedDict((s, p) for s, p in drained.items() if p)
+
+    def _resolve(self, pending: _Pending, response: QueryResponse) -> None:
+        """Set a response on a pending future, tolerating cancellation.
+
+        A client may have cancelled its future while the request was
+        queued; that must not kill the dispatcher or starve the other
+        futures of the round.
+        """
+        if not pending.future.set_running_or_notify_cancel():
+            self.stats.cancelled += 1
+            return
+        pending.future.set_result(response)
+
+    def _answer(self, batch: "OrderedDict[str, list[_Pending]]") -> None:
+        """Dispatch one drained round, one batcher call per subject."""
+        for subject, pendings in batch.items():
+            self._dispatch_index += 1
+            index = self._dispatch_index
+            calls_before = self.batcher.calls
+            try:
+                entry = self.registry.get(subject)
+                responses = self.batcher.dispatch(
+                    entry, [p.request for p in pendings],
+                    dispatch_index=index)
+            except Exception as exc:  # noqa: BLE001 - isolate subjects
+                responses = [QueryResponse(
+                    request=p.request, subject=subject, model_version=-1,
+                    value=None, dispatch_index=index, error=str(exc))
+                    for p in pendings]
+            # A misbehaving batcher returning too few responses must not
+            # leave the tail futures unresolved (zip would truncate).
+            while len(responses) < len(pendings):
+                short = pendings[len(responses)]
+                responses.append(QueryResponse(
+                    request=short.request, subject=subject,
+                    model_version=-1, value=None, dispatch_index=index,
+                    error="batcher returned too few responses"))
+            now = time.perf_counter()
+            for pending, response in zip(pendings, responses):
+                response.latency_seconds = now - pending.enqueued_at
+                self._resolve(pending, response)
+            self.stats.dispatches += 1
+            self.stats.answered += len(responses)
+            self.stats.engine_calls += self.batcher.calls - calls_before
+            self.stats.max_batch_observed = max(self.stats.max_batch_observed,
+                                                len(pendings))
+            per_subject = self.stats.per_subject
+            per_subject[subject] = per_subject.get(subject, 0) \
+                + len(responses)

@@ -1,0 +1,233 @@
+"""Deterministic mixed query workloads for serving tests and benchmarks.
+
+A realistic serving mix is mostly cheap interventional/prediction queries
+with a long tail of heavier satisfaction and repair scans, and it contains
+*hot* queries — many clients asking the same thing at once.
+:func:`mixed_workload` reproduces that shape deterministically from a seed,
+so the concurrency tests, the throughput benchmark, the campaign cell and
+the example all fire the same kind of traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.inference.engine import CausalInferenceEngine
+from repro.inference.queries import QoSConstraint
+from repro.service.requests import (
+    AceRequest,
+    EffectRequest,
+    PredictRequest,
+    QueryRequest,
+    RepairRequest,
+    SatisfactionRequest,
+)
+
+
+def mixed_workload(subject: str, engine: CausalInferenceEngine,
+                   directions: Mapping[str, str], n_requests: int,
+                   seed: int = 0, satisfaction_pool: int = 4,
+                   repair_pool: int = 3,
+                   max_repairs: int = 48) -> list[QueryRequest]:
+    """Generate a deterministic mixed workload against one subject.
+
+    The mix is roughly 30% interventional-effect queries, 30% predictions,
+    10% ACE queries, 18% satisfaction probabilities drawn from a small pool
+    of hot queries and 12% repair scans drawn from a pool of hot faults —
+    the duplicates are deliberate, they model many clients asking the same
+    question (the same fault, the same QoS check) and give the batcher's
+    deduplication something to do.
+
+    Parameters
+    ----------
+    subject:
+        Registry subject name stamped on every request.
+    engine:
+        The fitted engine the workload will run against (provides option
+        domains, constraints and observed data for plausible payloads).
+    directions:
+        Objective → ``"minimize"``/``"maximize"`` mapping (usually
+        ``system.objectives``).
+    n_requests:
+        Number of requests to generate.
+    seed:
+        Seed of the workload's private random generator; equal seeds give
+        byte-equal workloads.
+    satisfaction_pool, repair_pool:
+        Sizes of the hot-query pools.
+    max_repairs:
+        Candidate-grid cap carried by the repair requests.
+
+    Returns
+    -------
+    list of QueryRequest
+        ``n_requests`` requests in generation order.
+    """
+    rng = np.random.default_rng(seed)
+    domains = engine.domains
+    constraints = engine.constraints
+    options = [o for o in constraints.options()
+               if o in domains and len(domains[o]) >= 2
+               and constraints.is_intervenable(o)]
+    objectives = [o for o in directions if o in engine.learned_model.data.columns]
+    if not options or not objectives:
+        raise ValueError("workload needs at least one intervenable option "
+                         "with a domain and one observed objective")
+    data = engine.learned_model.data
+    medians = {o: float(np.median(data.column(o))) for o in objectives}
+
+    def random_intervention() -> dict[str, float]:
+        option = options[int(rng.integers(len(options)))]
+        value = domains[option][int(rng.integers(len(domains[option])))]
+        return {option: float(value)}
+
+    def random_configuration() -> dict[str, float]:
+        return {option: float(domains[option][
+                    int(rng.integers(len(domains[option])))])
+                for option in options}
+
+    hot_satisfaction: list[SatisfactionRequest] = []
+    for _ in range(max(satisfaction_pool, 1)):
+        objective = objectives[int(rng.integers(len(objectives)))]
+        constraint = QoSConstraint(objective, directions[objective],
+                                   threshold=medians[objective])
+        hot_satisfaction.append(SatisfactionRequest.of(
+            subject, constraint, random_intervention()))
+
+    hot_repairs: list[RepairRequest] = []
+    for _ in range(max(repair_pool, 1)):
+        objective = objectives[int(rng.integers(len(objectives)))]
+        degrade = 1.3 if directions[objective] == "minimize" else 0.7
+        hot_repairs.append(RepairRequest.of(
+            subject, {objective: directions[objective]},
+            faulty_configuration=random_configuration(),
+            faulty_measurement={objective: medians[objective] * degrade},
+            max_repairs=max_repairs))
+
+    predict_objectives = tuple(sorted(objectives))
+    requests: list[QueryRequest] = []
+    for _ in range(n_requests):
+        roll = float(rng.random())
+        if roll < 0.30:
+            objective = objectives[int(rng.integers(len(objectives)))]
+            requests.append(EffectRequest.of(subject, objective,
+                                             random_intervention()))
+        elif roll < 0.60:
+            requests.append(PredictRequest.of(subject,
+                                              random_configuration(),
+                                              predict_objectives))
+        elif roll < 0.70:
+            option = options[int(rng.integers(len(options)))]
+            objective = objectives[int(rng.integers(len(objectives)))]
+            requests.append(AceRequest(subject=subject, option=option,
+                                       objective=objective))
+        elif roll < 0.88:
+            requests.append(hot_satisfaction[
+                int(rng.integers(len(hot_satisfaction)))])
+        else:
+            requests.append(hot_repairs[int(rng.integers(len(hot_repairs)))])
+    return requests
+
+
+def canonical_answers(responses: Sequence) -> list[str]:
+    """Canonical JSON rendering of each response's answer.
+
+    The one comparison the byte-identity contract is checked with —
+    shared by the determinism tests, the throughput benchmark, the
+    service campaign cell and the example, so the three call sites
+    cannot drift apart.
+    """
+    from repro.evaluation.store import canonical_json
+
+    return [canonical_json(response.canonical_value())
+            for response in responses]
+
+
+def serve_concurrently(service, requests: Sequence[QueryRequest],
+                       n_clients: int) -> tuple[list, float, object]:
+    """Fan a workload out to concurrent clients and time the serving window.
+
+    Splits ``requests`` into ``n_clients`` equal contiguous slices; each
+    client thread submits its slice as one ``submit_many`` batch and
+    blocks for the answers.  All clients start together behind a barrier,
+    so the measured wall clock covers serving work only, not thread
+    startup.  This is the one client pattern shared by the throughput
+    benchmark, the service campaign cell and the example walkthrough.
+
+    Parameters
+    ----------
+    service:
+        A started :class:`~repro.service.service.QueryService`.
+    requests:
+        The workload; its length must be divisible by ``n_clients``.
+    n_clients:
+        Number of concurrent client threads.
+
+    Returns
+    -------
+    tuple
+        ``(responses, seconds, stats)``: the responses aligned with
+        ``requests``, the serving wall-clock seconds, and a snapshot of
+        ``service.stats``.
+    """
+    requests = list(requests)
+    if n_clients < 1 or len(requests) % n_clients:
+        raise ValueError(f"cannot split {len(requests)} requests evenly "
+                         f"across {n_clients} clients")
+    per_client = len(requests) // n_clients
+    responses: list = [None] * len(requests)
+    failures: list[BaseException] = []
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client(worker: int) -> None:
+        barrier.wait()
+        lo = worker * per_client
+        try:
+            answers = service.submit_many(requests[lo:lo + per_client])
+        except BaseException as exc:  # noqa: BLE001 - surfaced after join
+            failures.append(exc)
+            return
+        responses[lo:lo + per_client] = answers
+
+    threads = [threading.Thread(target=client, args=(worker,))
+               for worker in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+    # A swallowed client error (e.g. AdmissionError from an oversized
+    # workload) would otherwise surface later as inexplicable None holes
+    # in the responses; re-raise it here instead.
+    if failures:
+        raise failures[0]
+    return responses, seconds, service.stats
+
+
+def latency_percentiles(responses: Sequence, percentiles=(50, 95, 99)
+                        ) -> dict[str, float]:
+    """Latency percentiles (milliseconds) of a batch of responses.
+
+    Parameters
+    ----------
+    responses:
+        :class:`~repro.service.requests.QueryResponse` objects.
+    percentiles:
+        Percentile ranks to report.
+
+    Returns
+    -------
+    dict
+        ``{"p50_ms": ..., "p95_ms": ..., ...}`` (empty input gives zeros).
+    """
+    latencies = np.array([r.latency_seconds for r in responses], dtype=float)
+    if latencies.size == 0:
+        return {f"p{p}_ms": 0.0 for p in percentiles}
+    return {f"p{p}_ms": float(np.percentile(latencies, p) * 1000.0)
+            for p in percentiles}

@@ -42,12 +42,15 @@ class Option:
         return len(self.values)
 
     def is_binary(self) -> bool:
+        """Whether the option has exactly two distinct values."""
         return len(set(self.values)) == 2
 
     def sample(self, rng: np.random.Generator) -> float:
+        """One value drawn uniformly from the domain."""
         return float(rng.choice(self.values))
 
     def describe(self, value: float) -> str:
+        """Human-readable ``name=value`` rendering."""
         return f"{self.name}={value:g}"
 
     def __repr__(self) -> str:
@@ -78,12 +81,15 @@ class CategoricalOption(Option):
                          layer=layer, default=default_code)
 
     def level(self, value: float) -> str:
+        """Level name of an integer code (rounded)."""
         return self.levels[int(round(value))]
 
     def code(self, level: str) -> float:
+        """Integer code of a level name."""
         return float(self.levels.index(level))
 
     def describe(self, value: float) -> str:
+        """Human-readable ``name=level`` rendering (decoded level)."""
         return f"{self.name}={self.level(value)}"
 
 
@@ -109,9 +115,11 @@ class ConfigurationSpace:
         return list(self._options)
 
     def options(self) -> list[Option]:
+        """Every option, in declaration order."""
         return list(self._options.values())
 
     def option(self, name: str) -> Option:
+        """The option named ``name`` (raises ``KeyError`` if absent)."""
         return self._options[name]
 
     def __contains__(self, name: str) -> bool:
@@ -121,9 +129,11 @@ class ConfigurationSpace:
         return len(self._options)
 
     def by_layer(self, layer: str) -> list[Option]:
+        """Options of one layer (software / kernel / hardware)."""
         return [o for o in self._options.values() if o.layer == layer]
 
     def domains(self) -> dict[str, tuple[float, ...]]:
+        """Option name -> permissible values, for every option."""
         return {name: option.values for name, option in self._options.items()}
 
     def size(self) -> int:
@@ -135,14 +145,17 @@ class ConfigurationSpace:
 
     # ------------------------------------------------------------ generation
     def default_configuration(self) -> dict[str, float]:
+        """Every option at its default value."""
         return {name: option.default for name, option in self._options.items()}
 
     def sample_configuration(self, rng: np.random.Generator) -> dict[str, float]:
+        """One uniformly random configuration."""
         return {name: option.sample(rng)
                 for name, option in self._options.items()}
 
     def sample_configurations(self, n: int,
                               rng: np.random.Generator) -> list[dict[str, float]]:
+        """``n`` independent uniformly random configurations."""
         return [self.sample_configuration(rng) for _ in range(n)]
 
     def enumerate_configurations(self, limit: int | None = None
@@ -178,6 +191,7 @@ class ConfigurationSpace:
         return out
 
     def describe(self, configuration: Mapping[str, float]) -> str:
+        """Comma-joined human-readable rendering of a configuration."""
         parts = [self._options[name].describe(value)
                  for name, value in configuration.items()
                  if name in self._options]

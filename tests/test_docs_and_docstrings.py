@@ -1,0 +1,152 @@
+"""Documentation gates: docstring coverage and markdown link integrity.
+
+Two cheap, dependency-free checks that keep the public surface documented:
+
+* an AST walk over ``src/repro`` computing docstring coverage over the
+  public surface — modules, public classes, public methods and
+  functions; private names, dunders, nested functions and properties
+  excluded — gated at the same 80% threshold CI enforces with the real
+  ``interrogate --fail-under=80 --ignore-private --ignore-magic
+  --ignore-nested-functions --ignore-property-decorators``;
+* a link check over every markdown file in the repo root and ``docs/``,
+  asserting that relative links point at files that exist (external
+  ``http(s)`` links are not fetched).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+FAIL_UNDER = 80.0
+
+
+def _is_property(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id in (
+                "property", "cached_property"):
+            return True
+        if isinstance(decorator, ast.Attribute) and decorator.attr in (
+                "setter", "getter", "deleter"):
+            return True
+    return False
+
+
+def _public_surface_stats(tree: ast.Module) -> tuple[int, int, list[str]]:
+    """(documented, total, missing-names) over a module's public surface.
+
+    Mirrors interrogate with ``--ignore-private --ignore-magic
+    --ignore-nested-functions --ignore-property-decorators``: the module
+    itself, public classes, and public non-property methods/functions
+    count; anything defined inside a function body does not.
+    """
+    documented = 1 if ast.get_docstring(tree) else 0
+    total = 1
+    missing: list[str] = [] if documented else ["<module>"]
+
+    def visit(node: ast.AST, in_function: bool) -> None:
+        nonlocal documented, total
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not in_function and not child.name.startswith("_") \
+                        and not _is_property(child):
+                    total += 1
+                    if ast.get_docstring(child):
+                        documented += 1
+                    else:
+                        missing.append(f"{child.name}:{child.lineno}")
+                visit(child, True)
+            elif isinstance(child, ast.ClassDef):
+                if not child.name.startswith("_") and not in_function:
+                    total += 1
+                    if ast.get_docstring(child):
+                        documented += 1
+                    else:
+                        missing.append(f"{child.name}:{child.lineno}")
+                visit(child, in_function)
+            else:
+                visit(child, in_function)
+
+    visit(tree, False)
+    return documented, total, missing
+
+
+def test_docstring_coverage_of_public_surface():
+    """src/repro stays >= 80% docstring-covered on its public surface."""
+    documented = total = 0
+    worst: list[tuple[float, str]] = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        d, t, _ = _public_surface_stats(tree)
+        documented += d
+        total += t
+        worst.append((d / t * 100.0, str(path.relative_to(REPO_ROOT))))
+    coverage = documented / total * 100.0
+    worst.sort()
+    assert coverage >= FAIL_UNDER, (
+        f"docstring coverage {coverage:.1f}% < {FAIL_UNDER}% "
+        f"({documented}/{total}); least covered: {worst[:5]}")
+
+
+def test_api_surface_modules_fully_documented():
+    """The serving-facing API surface carries a docstring on every public
+    class, method and function (properties and privates excluded)."""
+    surface = [
+        SRC_ROOT / "core" / "unicorn.py",
+        SRC_ROOT / "inference" / "engine.py",
+        SRC_ROOT / "evaluation" / "runner.py",
+        *sorted((SRC_ROOT / "service").glob("*.py")),
+    ]
+    missing: list[str] = []
+    for path in surface:
+        tree = ast.parse(path.read_text(), filename=str(path))
+        _, _, names = _public_surface_stats(tree)
+        missing.extend(f"{path.relative_to(SRC_ROOT)}: {name}"
+                       for name in names)
+    assert not missing, f"undocumented public API: {missing}"
+
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def test_markdown_relative_links_resolve():
+    """Every relative link in README/docs markdown points at a real file.
+
+    PAPERS.md / SNIPPETS.md / PAPER.md are generated reference dumps
+    (arxiv retrieval output with dangling image links) and are excluded;
+    the gate covers the documentation this repo maintains.
+    """
+    markdown = [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md",
+                REPO_ROOT / "CHANGES.md"] + \
+        sorted((REPO_ROOT / "docs").glob("*.md"))
+    markdown = [path for path in markdown if path.exists()]
+    assert markdown, "no markdown files found"
+    broken: list[str] = []
+    for path in markdown:
+        for match in _LINK.finditer(path.read_text()):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                broken.append(f"{path.relative_to(REPO_ROOT)} -> {target}")
+    assert not broken, f"broken relative links: {broken}"
+
+
+def test_docs_cover_every_service_kind():
+    """query-api.md documents every ServiceKind the layer dispatches."""
+    from repro.service import ServiceKind
+
+    text = (REPO_ROOT / "docs" / "query-api.md").read_text()
+    request_names = {ServiceKind.ACE: "AceRequest",
+                     ServiceKind.PREDICT: "PredictRequest",
+                     ServiceKind.EFFECT: "EffectRequest",
+                     ServiceKind.SATISFACTION: "SatisfactionRequest",
+                     ServiceKind.REPAIR: "RepairRequest"}
+    for kind in ServiceKind:
+        assert request_names[kind] in text, f"{kind} undocumented"
