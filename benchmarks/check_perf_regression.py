@@ -1,0 +1,116 @@
+"""CI perf-regression gate over ``benchmarks/results/summary.json``.
+
+The benchmark suite records every gate's numbers into ``summary.json``;
+this script compares a freshly produced summary against the committed
+baseline and **fails on regression**: any tracked metric that got worse
+by more than the tolerance (default ±20%) exits nonzero with a report.
+
+Only *relative* metrics are compared — speedups and coalescing ratios,
+which divide two timings taken on the same runner in the same run and so
+transfer between machines.  Absolute timings (``*_ms``, ``*_seconds``,
+``throughput_qps``) vary with runner hardware and load and are reported
+for context only.
+
+Usage (what ``.github/workflows/ci.yml`` runs)::
+
+    cp benchmarks/results/summary.json /tmp/baseline.json   # committed
+    pytest benchmarks/ ...                                  # regenerates
+    python benchmarks/check_perf_regression.py \
+        --baseline /tmp/baseline.json \
+        --fresh benchmarks/results/summary.json
+
+A tracked metric missing from the fresh summary (a perf gate silently
+dropped) is itself a failure; experiments new in the fresh summary are
+fine and simply establish their baseline on the next commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Relative (runner-independent) metric keys, all higher-is-better.
+TRACKED_KEYS = ("speedup", "median_speedup", "coalesced_ratio")
+DEFAULT_TOLERANCE = 0.20
+
+
+def tracked_metrics(summary: dict) -> dict[str, float]:
+    """``experiment.key -> value`` for every tracked metric in a summary."""
+    metrics: dict[str, float] = {}
+    for experiment, payload in summary.items():
+        if not isinstance(payload, dict):
+            continue
+        for key in TRACKED_KEYS:
+            value = payload.get(key)
+            if isinstance(value, (int, float)):
+                metrics[f"{experiment}.{key}"] = float(value)
+    return metrics
+
+
+def compare(baseline: dict, fresh: dict,
+            tolerance: float = DEFAULT_TOLERANCE
+            ) -> tuple[list[str], list[str]]:
+    """Compare two summaries; return ``(regressions, report_lines)``.
+
+    A tracked metric regresses when its fresh value falls below
+    ``baseline * (1 - tolerance)``; a tracked baseline metric absent from
+    the fresh summary is also a regression (the gate disappeared).
+    """
+    baseline_metrics = tracked_metrics(baseline)
+    fresh_metrics = tracked_metrics(fresh)
+    regressions: list[str] = []
+    report: list[str] = []
+    for name in sorted(baseline_metrics):
+        old = baseline_metrics[name]
+        new = fresh_metrics.get(name)
+        if new is None:
+            regressions.append(f"{name}: present in baseline ({old:.3g}) "
+                               "but missing from the fresh results")
+            continue
+        floor = old * (1.0 - tolerance)
+        verdict = "ok" if new >= floor else "REGRESSION"
+        report.append(f"  {verdict:>10}  {name}: {old:.3g} -> {new:.3g} "
+                      f"(floor {floor:.3g})")
+        if new < floor:
+            regressions.append(
+                f"{name}: {old:.3g} -> {new:.3g}, below the "
+                f"{tolerance:.0%} tolerance floor {floor:.3g}")
+    for name in sorted(set(fresh_metrics) - set(baseline_metrics)):
+        report.append(f"  {'new':>10}  {name}: {fresh_metrics[name]:.3g} "
+                      "(no baseline yet)")
+    return regressions, report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed summary.json snapshot")
+    parser.add_argument("--fresh", required=True, type=Path,
+                        help="summary.json produced by this run")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed relative slowdown (default 0.20)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    regressions, report = compare(baseline, fresh,
+                                  tolerance=args.tolerance)
+    print(f"perf-regression gate: {len(tracked_metrics(baseline))} tracked "
+          f"metrics, tolerance {args.tolerance:.0%}")
+    for line in report:
+        print(line)
+    if regressions:
+        print("\nPERF REGRESSIONS:")
+        for regression in regressions:
+            print(f"  - {regression}")
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

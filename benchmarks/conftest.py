@@ -5,18 +5,30 @@ substrate, asserts its qualitative claim, prints the paper-style rows (visible
 with ``pytest benchmarks/ --benchmark-only -s``) and appends the numbers to
 ``benchmarks/results/summary.json`` so that EXPERIMENTS.md can be refreshed
 from a single run.
+
+Result files are written **deterministically** so reruns produce minimal
+diffs: keys are sorted, floats are rounded to six significant digits
+(``_results_io.round_floats`` — raw ``time.perf_counter`` deltas would
+otherwise churn all 17 digits on every run), and the file ends with a
+newline.  The incremental-relearn trajectory file additionally treats its
+per-system timing histories as append-only (see
+``test_incremental_relearn._record``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 from pathlib import Path
 
 import pytest
 
 BENCHMARKS_DIR = Path(__file__).parent
 RESULTS_DIR = BENCHMARKS_DIR / "results"
+
+sys.path.insert(0, str(BENCHMARKS_DIR))  # so tests can `import _results_io`
+from _results_io import write_results_json  # noqa: E402
 
 
 def pytest_collection_modifyitems(config, items):
@@ -61,7 +73,7 @@ def results_recorder():
 
     def record(experiment: str, payload: object) -> None:
         store[experiment] = payload
-        path.write_text(json.dumps(store, indent=2, sort_keys=True))
+        write_results_json(path, store)
 
     yield record
-    path.write_text(json.dumps(store, indent=2, sort_keys=True))
+    write_results_json(path, store)

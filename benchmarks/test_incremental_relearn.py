@@ -190,15 +190,31 @@ def _drive_loop(system, iterations: int, seed: int = 0,
 
 
 def _record(results: dict) -> None:
+    """Append this run's timing trajectories to the per-system histories.
+
+    The file keeps ``{system: {"runs": [payload, ...]}}`` — append-only,
+    so every PR's perf trajectory stays comparable against all earlier
+    ones instead of being overwritten (the pre-ISSUE-5 format, one
+    payload per system, is migrated into a one-element history).  Writes
+    go through :func:`conftest.write_results_json` for deterministic
+    (sorted, rounded) regeneration.
+    """
+    from _results_io import write_results_json
+
     RESULTS_PATH.parent.mkdir(exist_ok=True)
-    existing = {}
+    existing: dict = {}
     if RESULTS_PATH.exists():
         try:
             existing = json.loads(RESULTS_PATH.read_text())
         except json.JSONDecodeError:
             pass
-    existing.update(results)
-    RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True))
+    for system, payload in results.items():
+        history = existing.get(system)
+        if not isinstance(history, dict) or "runs" not in history:
+            history = {"runs": [history] if history else []}
+        history["runs"].append(payload)
+        existing[system] = history
+    write_results_json(RESULTS_PATH, existing)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,92 @@
+"""Benchmark: sharded drift-aware serving vs the single-process service.
+
+The acceptance gate of the sharded tier: a **256-client long-horizon
+mixed workload** — rounds of concurrent queries over eight independently
+fitted SQLite subjects, interleaved with per-subject observation streams
+that undergo one genuine regime shift — must be served at least **3x
+faster** end-to-end by the drift-aware ``ShardedQueryService`` than by
+the single-process ``QueryService`` with its PR 4 eager-refresh
+semantics (every observation batch pays a full incremental relearn),
+while the sharded answers stay **byte-identical** to a single-process
+run with the same drift knobs (sharding never changes an answer).
+
+The speedup is honest about its sources.  On any host, the drift
+detector skips the relearns the stream does not justify — the eager
+baseline relearns on all ``subjects x rounds x batches`` observation
+batches, the drift-aware tier only where the residual stream actually
+shifted — and that relearn suppression alone carries the gate on a
+single-core runner (where multi-process sharding cannot add CPU
+parallelism; the per-shard overlap is a bonus on multi-core hosts, not
+what this gate certifies).  ``SHARDED_BENCH_QUICK=1`` trims the horizon
+for CI runners; the 3x gate is unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.evaluation import run_sharded_service_throughput
+
+QUICK = os.environ.get("SHARDED_BENCH_QUICK") == "1"
+REQUIRED_SPEEDUP = 3.0
+N_CLIENTS = 256
+N_SUBJECTS = 8
+SHARDS = 2
+N_ROUNDS = 4 if QUICK else 6
+#: 256 queries per round (one per client) over the horizon, plus three
+#: 10-measurement observation batches per subject per round.
+QUERIES_PER_ROUND = 256
+OBSERVATIONS_PER_ROUND = 30
+OBSERVATION_BATCHES = 3
+#: the regime shift lands two thirds of the way through the horizon; the
+#: rounds before it are stationary (nothing a drift detector should act
+#: on), the rounds after it must be served from a refreshed model.
+DRIFT_ROUND = 2 if QUICK else 4
+SEED = 17
+
+
+def test_sharded_drift_aware_serving_speedup_and_identity(results_recorder):
+    result = run_sharded_service_throughput(
+        "sqlite", n_subjects=N_SUBJECTS, shards=SHARDS,
+        n_clients=N_CLIENTS, n_rounds=N_ROUNDS,
+        queries_per_round=QUERIES_PER_ROUND,
+        observations_per_round=OBSERVATIONS_PER_ROUND,
+        observation_batches_per_round=OBSERVATION_BATCHES,
+        n_samples=60, seed=SEED, drift_threshold=6.0,
+        drift_rounds=(DRIFT_ROUND,), drift_scale=1.6,
+        drift_min_window=64, use_processes=True)
+    payload = dict(result, required_speedup=REQUIRED_SPEEDUP, quick=QUICK)
+    results_recorder("sharded_service_throughput", payload)
+
+    print(f"\n{result['n_queries']}-query long-horizon workload, "
+          f"{N_CLIENTS} clients, {N_SUBJECTS} subjects, {SHARDS} shards:"
+          f"\n  eager single-process  {result['eager_seconds'] * 1000:7.0f}"
+          f" ms  ({result['eager_refreshes']} relearns)"
+          f"\n  drift single-process  {result['drift_seconds'] * 1000:7.0f}"
+          f" ms  ({result['drift_refreshes']} relearns, "
+          f"{result['drift_refreshes_skipped']} batches absorbed)"
+          f"\n  drift sharded         {result['sharded_seconds'] * 1000:7.0f}"
+          f" ms  ({result['sharded_refreshes']} relearns) -> "
+          f"{result['speedup']:.1f}x, {result['throughput_qps']:.0f} qps, "
+          f"identical={result['identical']}")
+
+    # Byte-identity: the sharded tier answered exactly what the
+    # single-process drift-aware service answered, round for round.
+    assert result["identical"] is True
+    # The two drift-aware tiers made the same refresh decisions — the
+    # deterministic-schedule contract that byte-identity rests on.
+    assert result["sharded_refreshes"] == result["drift_refreshes"]
+    # Drift awareness absorbed most observation batches without relearning
+    # (the eager baseline relearned on every one) but did refresh after
+    # the injected regime shift on every subject.
+    assert result["sharded_refreshes"] >= N_SUBJECTS
+    assert result["sharded_refreshes"] <= result["eager_refreshes"] // 3
+    # Subjects were spread over the shards by the stable hash.
+    assert sum(result["subjects_per_shard"]) == N_SUBJECTS
+    assert max(result["subjects_per_shard"]) < N_SUBJECTS
+
+    assert result["speedup"] >= REQUIRED_SPEEDUP, (
+        f"sharded drift-aware serving only "
+        f"{result['speedup']:.2f}x faster than the eager single-process "
+        f"baseline ({result['eager_seconds']:.2f}s vs "
+        f"{result['sharded_seconds']:.2f}s)")

@@ -12,7 +12,8 @@ Each module corresponds to one family of experiments in the paper:
 * :mod:`repro.evaluation.case_study` — Section 5 / Fig. 12.
 * :mod:`repro.evaluation.fault_campaign` — Fig. 13 fault catalogue.
 * :mod:`repro.evaluation.service_campaign` — serving-layer throughput
-  (concurrent :class:`~repro.service.service.QueryService` vs one-at-a-time
+  (single-process and sharded drift-aware tiers;
+  concurrent :class:`~repro.service.service.QueryService` vs one-at-a-time
   dispatch; no paper counterpart — it measures the north-star scaling goal).
 
 Runners return plain dictionaries / dataclasses so benchmarks can both assert
@@ -66,6 +67,7 @@ from repro.evaluation.scalability import (
 from repro.evaluation.service_campaign import (
     run_service_campaign,
     run_service_throughput,
+    run_sharded_service_throughput,
     service_campaign_cells,
 )
 from repro.evaluation.case_study import run_case_study
@@ -108,6 +110,7 @@ __all__ = [
     "scalability_campaign_cells",
     "run_scalability_campaign",
     "run_service_throughput",
+    "run_sharded_service_throughput",
     "service_campaign_cells",
     "run_service_campaign",
     "run_case_study",

@@ -1,14 +1,22 @@
-"""Service-throughput campaign: the serving layer as an experiment cell.
+"""Service-throughput campaigns: the serving layer as experiment cells.
 
 The north-star system serves heavy concurrent query traffic; this module
 measures how well it does so, with the same campaign machinery (cells, seed
-trees, resumable artifacts) the paper experiments use.  One cell fits a
-subject model, generates a deterministic mixed workload
-(:func:`repro.service.workload.mixed_workload`), answers it twice — once
-through one-at-a-time engine dispatch, once through a concurrent
-:class:`~repro.service.service.QueryService` — and reports throughput,
-latency percentiles, the coalescing ratio and whether the two answer sets
-were byte-identical.
+trees, resumable artifacts) the paper experiments use.  Two cell kinds:
+
+* ``service_throughput`` — one subject, one concurrency level: a
+  deterministic mixed workload answered once through one-at-a-time engine
+  dispatch and once through a concurrent
+  :class:`~repro.service.service.QueryService`; reports throughput,
+  latency percentiles, the coalescing ratio and byte-identity.
+* ``sharded_service_throughput`` — the long-horizon story: many subjects,
+  many rounds of queries interleaved with (drifting) observation streams,
+  served three ways — the eager single-process baseline (PR 4 semantics:
+  every ``observe`` relearns), a drift-aware single-process run, and the
+  drift-aware :class:`~repro.service.sharding.ShardedQueryService` —
+  reporting the sharded tier's speedup over the eager baseline, the
+  relearn counts of each side, and whether the sharded answers stayed
+  byte-identical to the same-knob single-process run.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from repro.systems.registry import get_system
 # the service layer is imported lazily here to keep package import acyclic.
 
 SERVICE_CELL = "service_throughput"
+SHARDED_SERVICE_CELL = "sharded_service_throughput"
 
 
 def run_service_throughput(system_name: str, hardware: str | None = None,
@@ -105,6 +114,146 @@ def run_service_throughput(system_name: str, hardware: str | None = None,
     return result
 
 
+def run_sharded_service_throughput(system_name: str,
+                                   hardware: str | None = None,
+                                   n_subjects: int = 4, shards: int = 2,
+                                   n_clients: int = 32, n_rounds: int = 6,
+                                   queries_per_round: int = 64,
+                                   observations_per_round: int = 8,
+                                   n_samples: int = 50, seed: int = 0,
+                                   drift_threshold: float = 6.0,
+                                   drift_rounds: Sequence[int] = (3,),
+                                   drift_scale: float = 1.6,
+                                   drift_min_window: int = 4,
+                                   observation_batches_per_round: int = 1,
+                                   use_processes: bool = True,
+                                   batch_window: float = 0.002) -> dict:
+    """Measure the sharded drift-aware tier on a long-horizon workload.
+
+    Three serving tiers process the identical workload — ``n_rounds``
+    rounds of a mixed query batch from ``n_clients`` concurrent clients
+    followed by per-subject observation streams
+    (:func:`repro.service.workload.long_horizon_workload`) over
+    ``n_subjects`` independently seeded models of one system:
+
+    1. the **eager single-process baseline**: a
+       :class:`~repro.service.service.QueryService` whose registry
+       relearns on every observation batch (the PR 4 ``observe``
+       semantics);
+    2. the **drift-aware single-process reference**: same service, but
+       observations buffer until the
+       :class:`~repro.service.drift.DriftDetector` sees the stream shift
+       past ``drift_threshold``;
+    3. the **sharded tier**: a
+       :class:`~repro.service.sharding.ShardedQueryService` with the
+       same drift knobs, subjects hash-partitioned across ``shards``
+       workers.
+
+    The headline ``speedup`` is tier 3 over tier 1 — what a deployment
+    gains on a long-running workload from refreshing only on real drift
+    (and, on multi-core hosts, from overlapping shard work).
+    ``identical`` certifies tier 3 == tier 2 byte for byte: sharding
+    never changes an answer.
+
+    Parameters
+    ----------
+    system_name, hardware:
+        Subject system; each of the ``n_subjects`` models gets its own
+        seed-tree-derived fit seed.
+    n_subjects, shards, n_clients, n_rounds, queries_per_round,
+    observations_per_round, n_samples:
+        Workload and deployment shape.
+    seed:
+        Root seed of the workload/fit seed tree.
+    drift_threshold, drift_rounds, drift_scale:
+        Drift knobs: detector threshold, regime-shift rounds, and shift
+        magnitude.
+    use_processes:
+        Worker processes (``True``) or in-process worker threads.
+    batch_window:
+        Dispatcher coalescing window of the single-process tiers.
+
+    Returns
+    -------
+    dict
+        JSON-serializable cell result: per-tier seconds, ``speedup``,
+        ``throughput_qps``, relearn counters per tier, and
+        ``identical``.
+    """
+    from repro.service.service import QueryService
+    from repro.service.sharding import ShardedQueryService, registry_from_specs
+    from repro.service.workload import (_derived_seed, canonical_answers,
+                                        long_horizon_workload, serve_rounds)
+
+    specs = {
+        f"{system_name}-{i}": {
+            "system": system_name, "hardware": hardware,
+            "n_samples": int(n_samples), "seed": _derived_seed(seed, 3, i),
+        }
+        for i in range(int(n_subjects))
+    }
+    systems = {subject: get_system(system_name, hardware=hardware)
+               for subject in specs}
+
+    # The workload is generated once, before any serving begins, from the
+    # eager tier's freshly fitted engines (generation only reads them;
+    # the observe mutations happen later, against fixed workload data) —
+    # every other tier then refits its own registry from the same specs.
+    eager_registry = registry_from_specs(specs)
+    engines = {subject: eager_registry.get(subject).engine
+               for subject in specs}
+    rounds = long_horizon_workload(
+        engines, systems, n_rounds=int(n_rounds),
+        queries_per_round=int(queries_per_round),
+        observations_per_round=int(observations_per_round), seed=seed,
+        drift_rounds=tuple(drift_rounds), drift_scale=float(drift_scale),
+        observation_batches_per_round=int(observation_batches_per_round))
+    n_queries = sum(len(r["queries"]) for r in rounds)
+
+    with QueryService(eager_registry, batch_window=batch_window,
+                      max_batch=512) as service:
+        _, eager_seconds = serve_rounds(service, rounds, int(n_clients))
+
+    drift_registry = registry_from_specs(
+        specs, drift_threshold=float(drift_threshold),
+        drift_min_window=int(drift_min_window), refresh_async=True)
+    with QueryService(drift_registry, batch_window=batch_window,
+                      max_batch=512) as service:
+        reference, drift_seconds = serve_rounds(service, rounds,
+                                                int(n_clients))
+
+    with ShardedQueryService(specs, shards=int(shards),
+                             use_processes=bool(use_processes),
+                             drift_threshold=float(drift_threshold),
+                             drift_min_window=int(drift_min_window),
+                             refresh_async=True) as sharded:
+        responses, sharded_seconds = serve_rounds(sharded, rounds,
+                                                  int(n_clients))
+        worker_stats = sharded.worker_stats()
+
+    identical = canonical_answers(responses) == canonical_answers(reference)
+    return {
+        "system": system_name,
+        "n_subjects": int(n_subjects),
+        "shards": int(shards),
+        "n_clients": int(n_clients),
+        "n_rounds": int(n_rounds),
+        "n_queries": n_queries,
+        "drift_threshold": float(drift_threshold),
+        "eager_seconds": eager_seconds,
+        "drift_seconds": drift_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup": eager_seconds / max(sharded_seconds, 1e-9),
+        "throughput_qps": n_queries / max(sharded_seconds, 1e-9),
+        "eager_refreshes": eager_registry.refreshes,
+        "drift_refreshes": drift_registry.refreshes,
+        "drift_refreshes_skipped": drift_registry.refreshes_skipped,
+        "sharded_refreshes": sum(w["refreshes"] for w in worker_stats),
+        "subjects_per_shard": [len(w["subjects"]) for w in worker_stats],
+        "identical": identical,
+    }
+
+
 @register_cell_kind(SERVICE_CELL)
 def _service_cell(spec: Mapping, seed: int) -> dict:
     """One campaign cell: one service-throughput measurement."""
@@ -117,9 +266,34 @@ def _service_cell(spec: Mapping, seed: int) -> dict:
         batch_window=float(spec.get("batch_window", 0.004)))
 
 
+@register_cell_kind(SHARDED_SERVICE_CELL)
+def _sharded_service_cell(spec: Mapping, seed: int) -> dict:
+    """One campaign cell: one sharded long-horizon measurement."""
+    return run_sharded_service_throughput(
+        spec["system"], spec.get("hardware"),
+        n_subjects=int(spec.get("n_subjects", 4)),
+        shards=int(spec.get("shards", 2)),
+        n_clients=int(spec.get("n_clients", 32)),
+        n_rounds=int(spec.get("n_rounds", 6)),
+        queries_per_round=int(spec.get("queries_per_round", 64)),
+        observations_per_round=int(spec.get("observations_per_round", 8)),
+        n_samples=int(spec.get("n_samples", 50)),
+        seed=seed,
+        drift_threshold=float(spec.get("drift_threshold", 6.0)),
+        drift_rounds=tuple(spec.get("drift_rounds", (3,))),
+        drift_scale=float(spec.get("drift_scale", 1.6)),
+        drift_min_window=int(spec.get("drift_min_window", 4)),
+        observation_batches_per_round=int(
+            spec.get("observation_batches_per_round", 1)),
+        use_processes=bool(spec.get("use_processes", True)),
+        batch_window=float(spec.get("batch_window", 0.002)))
+
+
 def service_campaign_cells(scenarios: Sequence[Mapping]) -> list[CampaignCell]:
     """One cell per serving scenario (dicts of
-    :func:`run_service_throughput` kwargs; ``system`` is mandatory).
+    :func:`run_service_throughput` kwargs — or, with ``"shards"`` in the
+    scenario, of :func:`run_sharded_service_throughput` kwargs;
+    ``system`` is mandatory).
 
     Raises
     ------
@@ -131,7 +305,8 @@ def service_campaign_cells(scenarios: Sequence[Mapping]) -> list[CampaignCell]:
         spec = dict(scenario)
         if "system" not in spec:
             raise ValueError(f"service scenario needs 'system': {spec}")
-        cells.append(CampaignCell(kind=SERVICE_CELL, spec=spec))
+        kind = SHARDED_SERVICE_CELL if "shards" in spec else SERVICE_CELL
+        cells.append(CampaignCell(kind=kind, spec=spec))
     return cells
 
 

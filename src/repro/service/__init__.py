@@ -16,15 +16,36 @@ caller; this package fronts the same engines for many concurrent clients:
 * :mod:`repro.service.service` — :class:`QueryService`: the thread-safe
   ``submit`` / ``submit_many`` facade with admission control and
   per-subject fairness.
-* :mod:`repro.service.workload` — deterministic mixed workloads for
-  tests, benchmarks and demos.
+* :mod:`repro.service.drift` — :class:`DriftDetector`: residual-shift
+  detection over live observation streams, the trigger of drift-aware
+  model refresh.
+* :mod:`repro.service.sharding` / :mod:`repro.service.worker` —
+  :class:`ShardedQueryService`: subjects hash-partitioned across worker
+  processes (each its own registry + batcher over a spawn-safe IPC
+  loop), byte-identical to the single-process service for any shard
+  count, with crash recovery and journal replay.
+* :mod:`repro.service.workload` — deterministic mixed workloads (and
+  long-horizon drifting observation streams) for tests, benchmarks and
+  demos.
 
 See ``docs/serving.md`` for the architecture narrative and
 ``docs/query-api.md`` for the per-query reference.
 """
 
 from repro.service.batcher import RequestBatcher
-from repro.service.registry import ModelEntry, ModelRegistry, UnknownSubjectError
+from repro.service.drift import DriftDetector
+from repro.service.registry import (
+    ModelEntry,
+    ModelRegistry,
+    UnknownSubjectError,
+    unicorn_from_spec,
+)
+from repro.service.sharding import (
+    ShardedQueryService,
+    ShardedServiceStats,
+    registry_from_specs,
+    shard_of,
+)
 from repro.service.requests import (
     AceRequest,
     EffectRequest,
@@ -44,14 +65,18 @@ from repro.service.service import (
 )
 from repro.service.workload import (
     canonical_answers,
+    drifting_measurement_stream,
     latency_percentiles,
+    long_horizon_workload,
     mixed_workload,
     serve_concurrently,
+    serve_rounds,
 )
 
 __all__ = [
     "AceRequest",
     "AdmissionError",
+    "DriftDetector",
     "EffectRequest",
     "ModelEntry",
     "ModelRegistry",
@@ -65,10 +90,18 @@ __all__ = [
     "ServiceClosedError",
     "ServiceKind",
     "ServiceStats",
+    "ShardedQueryService",
+    "ShardedServiceStats",
     "UnknownSubjectError",
     "mixed_workload",
+    "drifting_measurement_stream",
     "latency_percentiles",
+    "long_horizon_workload",
+    "registry_from_specs",
     "repair_payload",
     "serve_concurrently",
+    "serve_rounds",
+    "shard_of",
+    "unicorn_from_spec",
     "canonical_answers",
 ]

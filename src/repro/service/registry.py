@@ -16,6 +16,15 @@ performance model.  :class:`ModelRegistry` keeps those models:
   whose incremental path (PR 1) updates the learner's structure in place
   and refreshes the existing engine instead of rebuilding it; every refresh
   bumps the entry's ``version`` so in-flight batches never mix model states.
+* **Drift-aware** — with a ``drift_threshold`` set, :meth:`observe` no
+  longer relearns on every batch: observations buffer per entry while a
+  :class:`~repro.service.drift.DriftDetector` watches the prediction
+  residuals of the stream, and the (incremental) relearn runs only when
+  the stream has actually shifted — optionally on a background thread
+  (``refresh_async=True``) so the observing caller never waits out a
+  relearn.  Refresh decisions are a deterministic function of the
+  observation stream, which is what lets sharded replicas stay
+  byte-identical.
 
 Entries carry a reentrant lock; the query service serializes engine calls
 and refreshes per entry through it (the engine's internal caches are not
@@ -31,8 +40,46 @@ from typing import Mapping, Sequence
 from repro.core.unicorn import LoopState, Unicorn, UnicornConfig
 from repro.evaluation.store import content_hash
 from repro.inference.engine import CausalInferenceEngine
+from repro.service.drift import DriftDetector
 from repro.systems.base import Measurement
 from repro.systems.registry import get_system
+
+
+def unicorn_from_spec(spec: Mapping[str, object],
+                      use_batched: bool = True) -> Unicorn:
+    """Build the :class:`Unicorn` loop a subject *spec* describes.
+
+    The one spec-to-model recipe shared by :meth:`ModelRegistry.get_or_fit`,
+    :meth:`ModelRegistry.register_spec` and the sharded tier's worker
+    processes — equal specs always produce equal (seeded) models, no matter
+    which process fits them.
+
+    Parameters
+    ----------
+    spec:
+        JSON-serializable subject description; see
+        :meth:`ModelRegistry.get_or_fit` for the recognised keys.
+    use_batched:
+        Whether the fitted engine routes queries through the batched
+        evaluator (``False`` pins the scalar reference oracle).
+
+    Raises
+    ------
+    KeyError
+        If ``spec`` lacks ``"system"`` or names an unknown system.
+    """
+    spec = dict(spec)
+    if "system" not in spec:
+        raise KeyError("subject spec needs a 'system' name")
+    system = get_system(str(spec["system"]), hardware=spec.get("hardware"))
+    n_samples = int(spec.get("n_samples", 60))
+    config = UnicornConfig(
+        initial_samples=n_samples, budget=n_samples,
+        seed=int(spec.get("seed", 0)),
+        max_condition_size=int(spec.get("max_condition_size", 1)),
+        relevant_options=spec.get("relevant_options"),
+        batched_queries=use_batched)
+    return Unicorn(system, config)
 
 
 class UnknownSubjectError(KeyError):
@@ -66,6 +113,19 @@ class ModelEntry:
         #: serializes engine queries and refreshes for this entry.
         self.lock = threading.RLock()
         self.hits = 0
+        #: observations buffered since the last refresh (drift-aware mode).
+        self.pending: list[Measurement] = []
+        #: lazily created residual-drift detector (drift-aware mode only).
+        self.drift: DriftDetector | None = None
+        #: completion event of the most recently triggered asynchronous
+        #: refresh; the next observe waits on it, which pins the refresh
+        #: deterministically between two observation batches.
+        self.refresh_event: threading.Event | None = None
+        #: serializes whole observe calls (wait-for-refresh handshake +
+        #: scoring + trigger) so concurrent observers of one subject see
+        #: a well-ordered stream; never held by the refresh thread, so
+        #: waiting on ``refresh_event`` under it cannot deadlock.
+        self.observe_lock = threading.Lock()
 
     @property
     def version(self) -> int:
@@ -122,16 +182,43 @@ class ModelRegistry:
         Whether models fitted by :meth:`get_or_fit` route queries through
         the batched evaluator; ``False`` pins every fitted engine to the
         scalar reference oracle (the differential-testing fallback).
+    drift_threshold:
+        ``None`` (the default) keeps the eager PR 4 semantics: every
+        :meth:`observe` relearns immediately.  A positive float switches
+        to drift-aware refresh: observations buffer per entry and the
+        relearn runs only when the entry's
+        :class:`~repro.service.drift.DriftDetector` scores the stream at
+        or above this threshold.
+    drift_min_window:
+        Minimum buffered observations before a drift refresh may trigger.
+    refresh_async:
+        Run drift-triggered relearns on a background thread instead of the
+        observing caller's thread.  Queries against the refreshing subject
+        serialize behind the entry lock (version isolation); other
+        subjects are unaffected.  Call :meth:`quiesce` to wait for
+        outstanding refreshes at a deterministic point.
     """
 
-    def __init__(self, capacity: int = 8, use_batched: bool = True) -> None:
+    def __init__(self, capacity: int = 8, use_batched: bool = True,
+                 drift_threshold: float | None = None,
+                 drift_min_window: int = 4,
+                 refresh_async: bool = False) -> None:
         if capacity < 1:
             raise ValueError("registry capacity must be >= 1")
         self.capacity = int(capacity)
         self.use_batched = bool(use_batched)
+        self.drift_threshold = (None if drift_threshold is None
+                                else float(drift_threshold))
+        self.drift_min_window = int(drift_min_window)
+        self.refresh_async = bool(refresh_async)
         self._entries: OrderedDict[str, ModelEntry] = OrderedDict()
         self._lock = threading.Lock()
+        self._refresh_threads: list[threading.Thread] = []
         self.evictions = 0
+        #: relearns actually performed through :meth:`observe`.
+        self.refreshes = 0
+        #: observe batches absorbed without a relearn (drift below threshold).
+        self.refreshes_skipped = 0
 
     # ---------------------------------------------------------------- lookup
     def __len__(self) -> int:
@@ -271,16 +358,7 @@ class ModelRegistry:
                 self._entries.move_to_end(key)
                 entry.hits += 1
                 return entry
-        system = get_system(str(spec["system"]),
-                            hardware=spec.get("hardware"))
-        n_samples = int(spec.get("n_samples", 60))
-        config = UnicornConfig(
-            initial_samples=n_samples, budget=n_samples,
-            seed=int(spec.get("seed", 0)),
-            max_condition_size=int(spec.get("max_condition_size", 1)),
-            relevant_options=spec.get("relevant_options"),
-            batched_queries=self.use_batched)
-        unicorn = Unicorn(system, config)
+        unicorn = unicorn_from_spec(spec, use_batched=self.use_batched)
         state = unicorn.fit()
         # The fit ran outside the lock; a concurrent get_or_fit of the same
         # spec may have won the race.  keep_existing resolves it atomically:
@@ -288,19 +366,54 @@ class ModelRegistry:
         return self._insert(key, ModelEntry(key, unicorn, state),
                             keep_existing=True)
 
+    def register_spec(self, subject: str,
+                      spec: Mapping[str, object]) -> ModelEntry:
+        """Fit a subject from a spec and install it under an explicit name.
+
+        The spec-addressed sibling of :meth:`register`, and the one entry
+        point the sharded tier's workers use: because the fit is a pure
+        function of the spec (see :func:`unicorn_from_spec`), every worker
+        that registers the same ``(subject, spec)`` pair holds a
+        byte-identical model — the foundation of the sharding
+        determinism contract.
+
+        Parameters
+        ----------
+        subject:
+            Registry key the entry will be addressed by.
+        spec:
+            Subject description; see :meth:`get_or_fit`.
+
+        Returns
+        -------
+        ModelEntry
+            The freshly fitted resident entry.
+        """
+        unicorn = unicorn_from_spec(spec, use_batched=self.use_batched)
+        return self._insert(subject,
+                            ModelEntry(subject, unicorn, unicorn.fit()))
+
     # --------------------------------------------------------------- refresh
     def observe(self, subject: str,
                 measurements: Sequence[Measurement]) -> int:
-        """Fold new measurements into a subject's model incrementally.
+        """Fold new measurements into a subject's model.
 
-        Appends the measurements to the entry's loop state and re-learns
-        through :meth:`Unicorn.learn`, which routes repeat calls through the
-        PR 1 incremental path: the dataset grows in place (a new data
-        epoch), discovery warm-starts from the previous structure and the
-        existing engine is refreshed rather than rebuilt.  The entry's
-        ``version`` is bumped under its lock, so concurrent query batches
-        either complete against the old model or start against the new one
-        — never a mix.
+        With the default ``drift_threshold=None`` this is the eager PR 4
+        path: the measurements append to the entry's loop state and the
+        model re-learns immediately through :meth:`Unicorn.learn`'s
+        incremental route (the dataset grows in place as a new data epoch,
+        discovery warm-starts from the previous structure, and the
+        existing engine is refreshed rather than rebuilt).
+
+        With a ``drift_threshold`` set, the measurements instead buffer in
+        ``entry.pending`` while their prediction residuals feed the
+        entry's :class:`~repro.service.drift.DriftDetector`; the relearn
+        runs — folding the whole buffer — only once the stream has
+        drifted past the threshold, synchronously or on a background
+        thread (``refresh_async``).  Either way the entry's ``version``
+        is bumped under its lock, so concurrent query batches either
+        complete against the old model or start against the new one —
+        never a mix.
 
         Parameters
         ----------
@@ -312,7 +425,9 @@ class ModelRegistry:
         Returns
         -------
         int
-            The entry's new version.
+            The entry's version as of this call: bumped after a
+            synchronous refresh, unchanged when the batch was buffered
+            (or while an asynchronous refresh is still in flight).
 
         Raises
         ------
@@ -325,7 +440,95 @@ class ModelRegistry:
             raise UnknownSubjectError(
                 f"subject {subject!r} was adopted without a Unicorn loop "
                 "and cannot be refreshed")
+        if self.drift_threshold is None:
+            with entry.lock:
+                entry.state.measurements.extend(measurements)
+                entry.unicorn.learn(entry.state)
+                self.refreshes += 1
+                return entry.bump_version()
+        # A previously triggered asynchronous refresh must land before the
+        # next batch is scored: every replica then interleaves refreshes
+        # and observations identically, whatever the thread scheduling —
+        # the determinism the sharded byte-identity contract needs.
+        # ``observe_lock`` serializes whole observe calls (two concurrent
+        # observers cannot both slip past the handshake), while the wait
+        # itself happens outside ``entry.lock``, which the refresh thread
+        # requires to make progress.
+        with entry.observe_lock:
+            event = entry.refresh_event
+            if event is not None:
+                event.wait()
+            return self._observe_drift_locked(entry, measurements)
+
+    def _observe_drift_locked(self, entry: ModelEntry,
+                              measurements: Sequence[Measurement]) -> int:
+        """Drift-path body of :meth:`observe`; caller holds the entry's
+        ``observe_lock`` and any prior async refresh has completed."""
+        subject = entry.key
         with entry.lock:
-            entry.state.measurements.extend(measurements)
+            entry.refresh_event = None
+            if entry.drift is None:
+                entry.drift = DriftDetector(
+                    entry.unicorn.objective_names,
+                    threshold=self.drift_threshold,
+                    min_window=self.drift_min_window)
+                entry.drift.rebaseline(entry.engine,
+                                       entry.state.measurements)
+            entry.pending.extend(measurements)
+            entry.drift.extend(entry.engine, measurements)
+            if not entry.drift.should_refresh():
+                self.refreshes_skipped += 1
+                return entry.version
+            folded = list(entry.pending)
+            entry.pending.clear()
+            if not self.refresh_async:
+                return self._refresh_entry(entry, folded)
+            done = threading.Event()
+            entry.refresh_event = done
+
+            def refresh_then_signal() -> None:
+                try:
+                    self._refresh_entry(entry, folded)
+                finally:
+                    done.set()
+
+            thread = threading.Thread(
+                target=refresh_then_signal,
+                name=f"model-refresh-{subject}", daemon=True)
+            with self._lock:
+                self._refresh_threads = [
+                    t for t in self._refresh_threads if t.is_alive()]
+                self._refresh_threads.append(thread)
+            thread.start()
+            return entry.version
+
+    def _refresh_entry(self, entry: ModelEntry,
+                       folded: Sequence[Measurement]) -> int:
+        """Fold buffered measurements, relearn, bump version, rebaseline.
+
+        Runs under the entry lock — queries against this subject wait for
+        the refresh (version isolation) while other subjects proceed.
+        """
+        with entry.lock:
+            entry.state.measurements.extend(folded)
             entry.unicorn.learn(entry.state)
-            return entry.bump_version()
+            version = entry.bump_version()
+            if entry.drift is not None:
+                entry.drift.rebaseline(entry.engine,
+                                       entry.state.measurements)
+            self.refreshes += 1
+            return version
+
+    def quiesce(self, timeout: float | None = 30.0) -> None:
+        """Wait for every outstanding background refresh to complete.
+
+        The synchronisation point that makes asynchronous drift refreshes
+        deterministic: callers that quiesce between an observation phase
+        and the next query phase are guaranteed the refreshed model (and
+        version) for that phase, regardless of scheduling.
+        """
+        with self._lock:
+            threads = list(self._refresh_threads)
+            self._refresh_threads = []
+        for thread in threads:
+            thread.join(timeout=timeout)

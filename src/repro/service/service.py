@@ -69,6 +69,10 @@ class ServiceStats:
     #: absorbed so the dispatcher thread survives.
     cancelled: int = 0
     dispatch_errors: int = 0
+    #: futures resolved with :class:`ServiceClosedError` because
+    #: :meth:`QueryService.close` found them still queued with no
+    #: dispatcher left to answer them.
+    closed_errors: int = 0
     per_subject: dict = field(default_factory=dict)
 
     @property
@@ -163,13 +167,19 @@ class QueryService:
             self._thread.start()
 
     def close(self, timeout: float | None = 10.0) -> None:
-        """Drain outstanding work and stop the dispatcher.
+        """Drain outstanding work, stop the dispatcher, settle every future.
 
         Requests already queued are still answered by the dispatcher
         before it exits; new submissions raise
-        :class:`ServiceClosedError`.  If no dispatcher will ever run
-        (never started, or it died within ``timeout``), the leftover
-        futures are cancelled so no client blocks forever.
+        :class:`ServiceClosedError`.  If the dispatcher cannot finish the
+        drain — it never started, or it is still busy when ``timeout``
+        expires — the still-queued requests are taken off the queues and
+        their futures resolve with a deterministic
+        :class:`ServiceClosedError`, so a client blocked in
+        ``future.result()`` always gets a definite outcome (the answer,
+        or the error) rather than hanging on a cancelled or leaked
+        entry.  Requests a live dispatcher had already drained keep their
+        promise and are answered normally.
         """
         with self._cv:
             if self._closed:
@@ -178,20 +188,22 @@ class QueryService:
             self._cv.notify_all()
         if self._thread is not None:
             self._thread.join(timeout=timeout)
-            if self._thread.is_alive():
-                # The dispatcher outlived the join timeout but is still
-                # working; it will answer the admitted requests and exit
-                # on its own — cancelling them here would drop work the
-                # docstring promises to finish.
-                return
+        # Whatever is still queued at this point will never be drained by
+        # a healthy dispatcher (none ever ran, or it outlived the join
+        # timeout); taking the entries off the queues under the lock
+        # guarantees a still-running dispatcher cannot also answer them.
         with self._cv:
             leftovers = [pending for queue in self._queues.values()
                          for pending in queue]
             self._queues.clear()
             self._n_pending = 0
         for pending in leftovers:
-            if pending.future.cancel():
+            if not pending.future.set_running_or_notify_cancel():
                 self.stats.cancelled += 1
+                continue
+            self.stats.closed_errors += 1
+            pending.future.set_exception(ServiceClosedError(
+                "service closed before the request was dispatched"))
 
     def __enter__(self) -> "QueryService":
         self.start()
@@ -307,6 +319,31 @@ class QueryService:
         """Requests currently queued (not yet dispatched)."""
         with self._cv:
             return self._n_pending
+
+    # ------------------------------------------------------------ maintenance
+    def observe(self, subject: str, measurements: Sequence,
+                block: bool = True) -> int:
+        """Stream new measurements into a subject's model.
+
+        Pass-through to :meth:`ModelRegistry.observe
+        <repro.service.registry.ModelRegistry.observe>` — eager or
+        drift-aware depending on how the registry was configured — so a
+        :class:`QueryService` and a
+        :class:`~repro.service.sharding.ShardedQueryService` expose the
+        same maintenance surface to workload drivers.  ``block`` exists
+        for that surface symmetry: an in-process observe is processed on
+        the calling thread either way and always returns the version.
+        """
+        return self.registry.observe(subject, measurements)
+
+    def quiesce(self, timeout: float | None = 60.0) -> None:
+        """Wait for outstanding background model refreshes to land.
+
+        Pass-through to :meth:`ModelRegistry.quiesce
+        <repro.service.registry.ModelRegistry.quiesce>`; a no-op unless
+        the registry refreshes asynchronously.
+        """
+        self.registry.quiesce(timeout=timeout)
 
     # --------------------------------------------------------------- dispatch
     def _dispatch_loop(self) -> None:

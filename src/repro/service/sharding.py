@@ -1,0 +1,786 @@
+"""Sharded multi-process query serving.
+
+:class:`ShardedQueryService` scales the PR 4 serving stack past one
+process and one GIL: subjects are hash-partitioned across ``shards``
+worker replicas (:mod:`repro.service.worker`), each hosting its own
+:class:`~repro.service.registry.ModelRegistry` and
+:class:`~repro.service.batcher.RequestBatcher` behind a spawn-safe IPC
+loop.  The parent keeps the familiar ``submit`` / ``submit_async`` /
+``submit_many`` facade, routes every request to its subject's shard,
+coalesces concurrently submitted requests into per-shard dispatch
+batches, and adds the serving policies a multi-process tier needs:
+
+* **Deterministic routing** — :func:`shard_of` hashes the subject name
+  with SHA-256, so the shard assignment is a pure function of
+  ``(subject, shards)``: stable across processes, runs and machines
+  (Python's salted ``hash`` would not be).
+* **Byte-identical answers** — workers fit their subjects from *specs*
+  through :meth:`~repro.service.registry.ModelRegistry.register_spec`,
+  a pure function of the spec, and refresh decisions are a deterministic
+  function of the observation stream; answers therefore match the
+  single-process :class:`~repro.service.service.QueryService` over
+  :func:`registry_from_specs` byte for byte, for any shard count.
+* **Crash recovery** — a liveness monitor respawns a dead worker, refits
+  its subjects, replays the shard's observation journal (so the replica
+  reconverges to the exact pre-crash model state, including the drift
+  detector's refresh schedule) and requeues the in-flight batches, up to
+  ``max_requeues`` per batch before the batch's futures resolve with an
+  error response instead of crash-looping.
+* **Backpressure and lifecycle** — a bounded in-flight budget raises
+  :class:`~repro.service.service.AdmissionError` like the single-process
+  tier, and :meth:`close` drains admitted work then resolves anything
+  left with a deterministic
+  :class:`~repro.service.service.ServiceClosedError`.
+
+Ordering is preserved end to end: per shard, dispatches, observes,
+quiesces and shutdown travel through one FIFO outbox and one FIFO command
+queue, so :meth:`quiesce` is a true barrier — when it returns, every
+previously submitted command on every shard (including background drift
+refreshes) has completed.  Interleave observation phases and query phases
+around :meth:`quiesce` and the serving history is deterministic, which is
+how the byte-identity tests compare sharded against single-process runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import queue as queue_module
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.service.registry import ModelRegistry, UnknownSubjectError
+from repro.service.requests import QueryRequest, QueryResponse
+from repro.service.service import AdmissionError, ServiceClosedError
+from repro.service.worker import run_shard_server, run_shard_thread
+
+
+def shard_of(subject: str, shards: int) -> int:
+    """Deterministic shard index of a subject key.
+
+    SHA-256 of the UTF-8 subject name, reduced modulo ``shards`` — stable
+    across interpreter runs and process boundaries, unlike the builtin
+    (salted) ``hash``.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    digest = hashlib.sha256(subject.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def registry_from_specs(specs: Mapping[str, Mapping],
+                        **registry_options) -> ModelRegistry:
+    """Fit every ``subject -> spec`` into one single-process registry.
+
+    The reference construction the sharded tier is held byte-identical
+    to: the same :meth:`~repro.service.registry.ModelRegistry.
+    register_spec` fits, in one process.  Keyword arguments are forwarded
+    to :class:`ModelRegistry`; ``capacity`` defaults to the number of
+    subjects so nothing is evicted mid-comparison.
+    """
+    registry_options.setdefault("capacity", max(len(specs), 1))
+    registry = ModelRegistry(**registry_options)
+    for subject, spec in specs.items():
+        registry.register_spec(subject, spec)
+    return registry
+
+
+@dataclass
+class ShardedServiceStats:
+    """Parent-side counters of one sharded service's lifetime of work."""
+
+    submitted: int = 0
+    answered: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    #: dispatch batches resent to a respawned worker after a crash.
+    requeues: int = 0
+    #: workers respawned by the liveness monitor.
+    respawns: int = 0
+    #: futures resolved with ``ServiceClosedError`` by :meth:`close`.
+    closed_errors: int = 0
+    #: dispatch batches sent (per-shard coalescing opportunities).
+    dispatch_batches: int = 0
+    per_shard_answered: dict = field(default_factory=dict)
+
+
+@dataclass
+class _Pending:
+    """A routed request with its future and enqueue timestamp."""
+
+    request: QueryRequest
+    future: Future
+    enqueued_at: float
+
+
+@dataclass
+class _ControlOp:
+    """A non-dispatch outbox entry (observe / quiesce / stats / shutdown)."""
+
+    verb: str
+    op_id: int
+    future: Future | None = None
+    payload: tuple = ()
+
+
+class _Shard:
+    """Parent-side handle of one worker: queues, runner, tracking state."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.subjects: dict[str, Mapping] = {}
+        self.command_queue = None
+        self.result_queue = None
+        self.runner = None
+        #: submissions not yet sent to the worker, in arrival order.
+        self.outbox: deque = deque()
+        self.cv = threading.Condition()
+        #: guards queue swaps (respawn) and every ``put`` to the worker.
+        self.lock = threading.Lock()
+        #: dispatch batches sent but not yet answered.
+        self.inflight: dict[int, list[_Pending]] = {}
+        self.requeue_counts: dict[int, int] = {}
+        #: control ops awaiting replies, by op id.
+        self.control: dict[int, _ControlOp] = {}
+        #: every observe ever sent, for deterministic crash replay.  The
+        #: journal is unbounded by design in this tier (recovery = refit
+        #: from spec + full replay); a deployment with heavy observation
+        #: streams would checkpoint worker model state instead and
+        #: truncate here — see docs/serving.md.
+        self.journal: list[tuple[int, str, Sequence]] = []
+        #: set when a respawn failed permanently; the shard fails new
+        #: work fast instead of queueing it for a worker that will never
+        #: answer.
+        self.failed = False
+        self.sender: threading.Thread | None = None
+        self.reader: threading.Thread | None = None
+
+    def alive(self) -> bool:
+        """Whether this shard's worker process/thread is running."""
+        return self.runner is not None and self.runner.is_alive()
+
+
+class ShardedQueryService:
+    """Hash-sharded, multi-process serving tier over spec-fitted subjects.
+
+    Parameters
+    ----------
+    specs:
+        ``subject name -> spec`` mapping; each worker fits its shard's
+        subjects from these specs at startup (see
+        :meth:`~repro.service.registry.ModelRegistry.get_or_fit` for the
+        recognised spec keys).
+    shards:
+        Number of worker replicas; subjects are assigned by
+        :func:`shard_of`.
+    use_processes:
+        ``True`` (default) runs each worker as a daemon process over
+        ``multiprocessing`` queues (``fork`` where available, ``spawn``
+        otherwise).  ``False`` runs the identical worker loop on daemon
+        threads in this process — the mode single-core test environments
+        use; messages still cross the same pickled-queue transport.
+    use_batched, drift_threshold, drift_min_window, refresh_async:
+        Forwarded to each worker's private :class:`ModelRegistry`.
+    batch_window:
+        Seconds the per-shard sender waits after the first pending
+        submission for more to arrive before flushing — the cross-client
+        coalescing window (0 flushes immediately).
+    max_pending:
+        Bound on unresolved requests across the service; beyond it
+        :meth:`submit_async` raises :class:`AdmissionError`.
+    max_requeues:
+        Crash-requeue budget per dispatch batch; exhausted batches
+        resolve with error responses instead of respawn-looping.
+    start_timeout:
+        Seconds to wait for a worker to fit its subjects at startup (and
+        again on respawn) before giving up.
+
+    Examples
+    --------
+    >>> specs = {"db": {"system": "sqlite", "n_samples": 60}}
+    >>> with ShardedQueryService(specs, shards=4) as service:  # doctest: +SKIP
+    ...     response = service.submit(
+    ...         EffectRequest.of("db", "QueryTime",
+    ...                          {"PRAGMA_CACHE_SIZE": 4096.0}))
+    """
+
+    def __init__(self, specs: Mapping[str, Mapping], shards: int = 2,
+                 use_processes: bool = True, use_batched: bool = True,
+                 drift_threshold: float | None = None,
+                 drift_min_window: int = 4, refresh_async: bool = True,
+                 batch_window: float = 0.001, max_pending: int = 4096,
+                 max_requeues: int = 2,
+                 start_timeout: float = 300.0) -> None:
+        if not specs:
+            raise ValueError("a sharded service needs at least one subject")
+        if shards < 1 or max_pending < 1 or max_requeues < 0:
+            raise ValueError("shards/max_pending must be >= 1, "
+                             "max_requeues >= 0")
+        self.shards = int(shards)
+        self.use_processes = bool(use_processes)
+        self.batch_window = float(batch_window)
+        self.max_pending = int(max_pending)
+        self.max_requeues = int(max_requeues)
+        self.start_timeout = float(start_timeout)
+        self.stats = ShardedServiceStats()
+        self._registry_options = {
+            "use_batched": bool(use_batched),
+            "drift_threshold": drift_threshold,
+            "drift_min_window": int(drift_min_window),
+            "refresh_async": bool(refresh_async),
+        }
+        self._ctx = (mp.get_context("fork")
+                     if "fork" in mp.get_all_start_methods()
+                     else mp.get_context("spawn"))
+        self._lock = threading.Lock()
+        self._closed = False
+        self._n_unresolved = 0
+        self._next_batch_id = 0
+        self._next_op_id = 0
+        self._subject_shard: dict[str, int] = {}
+        self._shards: list[_Shard] = [_Shard(i) for i in range(self.shards)]
+        for subject, spec in specs.items():
+            index = shard_of(subject, self.shards)
+            self._subject_shard[subject] = index
+            self._shards[index].subjects[subject] = dict(spec)
+        for shard in self._shards:
+            self._start_worker(shard)
+        for shard in self._shards:
+            shard.sender = threading.Thread(
+                target=self._sender_loop, args=(shard,),
+                name=f"shard-{shard.index}-sender", daemon=True)
+            shard.reader = threading.Thread(
+                target=self._reader_loop, args=(shard,),
+                name=f"shard-{shard.index}-reader", daemon=True)
+            shard.sender.start()
+            shard.reader.start()
+
+    # -------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _registry_capacity(self, shard: _Shard) -> int:
+        """Per-worker registry capacity: hold every assigned subject."""
+        return max(len(shard.subjects), 1)
+
+    def _start_worker(self, shard: _Shard) -> None:
+        """Create fresh queues and a worker, then wait for its fits."""
+        with shard.lock:
+            self._start_worker_locked(shard)
+
+    def _start_worker_locked(self, shard: _Shard) -> None:
+        """:meth:`_start_worker` body; the caller holds ``shard.lock``.
+
+        Fresh queues on every (re)start are deliberate: commands left in
+        a dead worker's queue must not be double-executed by its
+        replacement — recovery replays from the parent's own journal and
+        in-flight tracking instead.
+        """
+        options = dict(self._registry_options,
+                       capacity=self._registry_capacity(shard))
+        shard.command_queue = self._ctx.Queue()
+        shard.result_queue = self._ctx.Queue()
+        if self.use_processes:
+            shard.runner = self._ctx.Process(
+                target=run_shard_server,
+                args=(shard.index, shard.command_queue,
+                      shard.result_queue, options),
+                name=f"shard-worker-{shard.index}", daemon=True)
+        else:
+            shard.runner = threading.Thread(
+                target=run_shard_thread,
+                args=(shard.index, shard.command_queue,
+                      shard.result_queue, options),
+                name=f"shard-worker-{shard.index}", daemon=True)
+        shard.runner.start()
+        for subject, spec in shard.subjects.items():
+            shard.command_queue.put(("fit", subject, spec))
+        deadline = time.monotonic() + self.start_timeout
+        for _ in shard.subjects:
+            remaining = deadline - time.monotonic()
+            try:
+                message = shard.result_queue.get(
+                    timeout=max(remaining, 0.001))
+            except queue_module.Empty:
+                raise TimeoutError(
+                    f"shard {shard.index} did not fit its subjects within "
+                    f"{self.start_timeout}s") from None
+            if message[0] == "fit_error":
+                raise RuntimeError(f"shard {shard.index} failed to fit "
+                                   f"{message[1]!r}: {message[2]}")
+
+    # ------------------------------------------------------------- submission
+    def _route(self, request: QueryRequest) -> _Shard:
+        index = self._subject_shard.get(request.subject)
+        if index is None:
+            raise UnknownSubjectError(
+                f"unknown subject {request.subject!r}; served subjects: "
+                f"{sorted(self._subject_shard)}")
+        shard = self._shards[index]
+        if shard.failed:
+            raise ServiceClosedError(
+                f"shard {index} failed permanently (worker could not be "
+                "respawned); its subjects are unavailable")
+        return shard
+
+    def _admit(self, n: int) -> None:
+        """Reserve ``n`` in-flight slots or raise (caller holds no locks)."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("sharded service is closed")
+            if self._n_unresolved + n > self.max_pending:
+                self.stats.rejected += n
+                raise AdmissionError(
+                    f"in-flight budget cannot admit {n} more requests "
+                    f"({self._n_unresolved}/{self.max_pending} used)")
+            self._n_unresolved += n
+            self.stats.submitted += n
+
+    def submit_async(self, request: QueryRequest) -> Future:
+        """Enqueue one request and return its :class:`Future`.
+
+        The future resolves to a :class:`QueryResponse` (engine failures
+        surface in ``response.error``); it raises
+        :class:`ServiceClosedError` if the service closes before the
+        request could be dispatched.
+
+        Raises
+        ------
+        AdmissionError
+            If the in-flight budget is exhausted (backpressure).
+        ServiceClosedError
+            If the service has been closed.
+        UnknownSubjectError
+            If no shard serves the request's subject.
+        """
+        shard = self._route(request)
+        self._admit(1)
+        pending = _Pending(request=request, future=Future(),
+                           enqueued_at=time.perf_counter())
+        with shard.cv:
+            shard.outbox.append(pending)
+            shard.cv.notify_all()
+        return pending.future
+
+    def submit(self, request: QueryRequest,
+               timeout: float | None = None) -> QueryResponse:
+        """Enqueue one request and block until its response arrives."""
+        return self.submit_async(request).result(timeout=timeout)
+
+    def submit_many(self, requests: Sequence[QueryRequest],
+                    timeout: float | None = None) -> list[QueryResponse]:
+        """Enqueue a list of requests and wait for all their responses.
+
+        Admission is atomic (the whole list or nothing), matching
+        :meth:`QueryService.submit_many <repro.service.service.
+        QueryService.submit_many>`; ``timeout`` bounds the whole call.
+        """
+        requests = list(requests)
+        deadline = (None if timeout is None
+                    else time.monotonic() + float(timeout))
+        routed = [self._route(request) for request in requests]
+        self._admit(len(requests))
+        now = time.perf_counter()
+        futures = []
+        by_shard: dict[int, list[_Pending]] = {}
+        for request, shard in zip(requests, routed):
+            pending = _Pending(request=request, future=Future(),
+                               enqueued_at=now)
+            by_shard.setdefault(shard.index, []).append(pending)
+            futures.append(pending.future)
+        for index, pendings in by_shard.items():
+            shard = self._shards[index]
+            with shard.cv:
+                shard.outbox.extend(pendings)
+                shard.cv.notify_all()
+        return [future.result(
+                    timeout=None if deadline is None
+                    else max(deadline - time.monotonic(), 0.0))
+                for future in futures]
+
+    @property
+    def n_pending(self) -> int:
+        """Requests admitted but not yet resolved."""
+        with self._lock:
+            return self._n_unresolved
+
+    def subjects(self) -> list[str]:
+        """Every subject this service routes, in name order."""
+        return sorted(self._subject_shard)
+
+    # ---------------------------------------------------------------- control
+    def _control(self, shard: _Shard, verb: str,
+                 payload: tuple = ()) -> Future:
+        """Enqueue a control op on a shard's outbox (FIFO with dispatches)."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("sharded service is closed")
+            self._next_op_id += 1
+            op = _ControlOp(verb=verb, op_id=self._next_op_id,
+                            future=Future(), payload=payload)
+        with shard.cv:
+            shard.outbox.append(op)
+            shard.cv.notify_all()
+        return op.future
+
+    def observe(self, subject: str, measurements: Sequence,
+                block: bool = True, timeout: float | None = None):
+        """Stream new measurements into a subject's shard-resident model.
+
+        The shard's registry decides what to do with them: relearn
+        immediately (no ``drift_threshold``) or buffer them until the
+        drift detector fires (see :meth:`ModelRegistry.observe
+        <repro.service.registry.ModelRegistry.observe>`).  The batch is
+        journaled parent-side first, so a worker crash replays it and
+        the respawned replica reconverges to the same model state.
+
+        Parameters
+        ----------
+        subject:
+            A subject this service routes.
+        measurements:
+            New :class:`~repro.systems.base.Measurement` objects.
+        block:
+            Wait for the worker's acknowledgement and return the entry
+            version (``True``, default), or return a :class:`Future`
+            resolving to it.
+        timeout:
+            Seconds to wait when blocking.
+        """
+        index = self._subject_shard.get(subject)
+        if index is None:
+            raise UnknownSubjectError(f"unknown subject {subject!r}")
+        shard = self._shards[index]
+        measurements = list(measurements)
+        future = self._control(shard, "observe", (subject, measurements))
+        if block:
+            return future.result(timeout=timeout)
+        return future
+
+    def quiesce(self, timeout: float | None = 60.0) -> None:
+        """Barrier: wait until every shard has processed all prior work.
+
+        Because each shard's outbox and command queue are FIFO, the reply
+        to a quiesce op proves every dispatch and observe submitted
+        before it has been answered — and the worker joins its
+        registry's background drift refreshes before replying.  Call
+        between observation and query phases to make an asynchronously
+        refreshing service deterministic.
+        """
+        futures = [self._control(shard, "quiesce")
+                   for shard in self._shards]
+        for future in futures:
+            future.result(timeout=timeout)
+
+    def worker_stats(self, timeout: float | None = 60.0) -> list[dict]:
+        """Fetch each worker's serving counters (one dict per shard)."""
+        futures = [self._control(shard, "stats") for shard in self._shards]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Drain admitted work, stop every worker, settle every future.
+
+        Outstanding dispatches and observes are processed before each
+        worker exits (the shutdown command queues behind them).  Anything
+        that still cannot be resolved — e.g. a worker that died and
+        could not be respawned in time — resolves with a deterministic
+        :class:`ServiceClosedError` rather than hanging its client.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for shard in self._shards:
+            op = _ControlOp(verb="shutdown", op_id=0)
+            with shard.cv:
+                shard.outbox.append(op)
+                shard.cv.notify_all()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for shard in self._shards:
+            for thread in (shard.sender, shard.reader):
+                if thread is None:
+                    continue
+                remaining = (None if deadline is None
+                             else max(deadline - time.monotonic(), 0.01))
+                thread.join(timeout=remaining)
+        for shard in self._shards:
+            if shard.runner is not None and not shard.alive() \
+                    and self.use_processes:
+                shard.runner.join(timeout=1.0)
+            self._settle_shard_closed(shard)
+
+    def _settle_shard_closed(self, shard: _Shard) -> None:
+        """Resolve every unsettled future of a shard with ServiceClosed."""
+        with shard.cv:
+            leftovers = list(shard.outbox)
+            shard.outbox.clear()
+        with shard.lock:
+            for pendings in shard.inflight.values():
+                leftovers.extend(pendings)
+            shard.inflight.clear()
+            ops = list(shard.control.values())
+            shard.control.clear()
+        for item in leftovers:
+            if isinstance(item, _Pending):
+                self._settle(item, exception=ServiceClosedError(
+                    "service closed before the request was dispatched"))
+            elif item.future is not None and not item.future.done():
+                item.future.set_exception(ServiceClosedError(
+                    "service closed before the operation completed"))
+        for op in ops:
+            if op.future is not None and not op.future.done():
+                op.future.set_exception(ServiceClosedError(
+                    "service closed before the operation completed"))
+
+    # ------------------------------------------------------------- resolution
+    def _settle(self, pending: _Pending,
+                response: QueryResponse | None = None,
+                exception: BaseException | None = None) -> None:
+        """Resolve one pending future exactly once, tolerating cancellation.
+
+        Counter updates happen under the service lock — settlement runs
+        on every shard's reader thread concurrently, and unsynchronized
+        ``+=`` would lose increments.
+        """
+        if not pending.future.set_running_or_notify_cancel():
+            with self._lock:
+                self._n_unresolved -= 1
+                self.stats.cancelled += 1
+            return
+        if exception is not None:
+            with self._lock:
+                self._n_unresolved -= 1
+                if isinstance(exception, ServiceClosedError):
+                    self.stats.closed_errors += 1
+            pending.future.set_exception(exception)
+            return
+        with self._lock:
+            self._n_unresolved -= 1
+            self.stats.answered += 1
+        pending.future.set_result(response)
+
+    # ----------------------------------------------------------------- sender
+    def _sender_loop(self, shard: _Shard) -> None:
+        """Per-shard sender: wait, window, drain the outbox, send batches."""
+        while True:
+            with shard.cv:
+                while not shard.outbox:
+                    shard.cv.wait()
+            if self.batch_window > 0:
+                time.sleep(self.batch_window)
+            with shard.cv:
+                drained = list(shard.outbox)
+                shard.outbox.clear()
+            if self._flush(shard, drained):
+                return
+
+    def _flush(self, shard: _Shard, drained: list) -> bool:
+        """Send one drained outbox run, preserving order.
+
+        Contiguous runs of requests become single dispatch batches;
+        control ops are sent in place between them.  Returns ``True``
+        when a shutdown op was sent (the sender then exits).
+        """
+        if shard.failed:
+            # Nothing will ever answer; fail the drained work fast
+            # instead of queueing it for a dead worker.
+            for item in drained:
+                if isinstance(item, _Pending):
+                    self._settle(item, exception=ServiceClosedError(
+                        f"shard {shard.index} failed permanently"))
+                elif item.future is not None and not item.future.done():
+                    item.future.set_exception(ServiceClosedError(
+                        f"shard {shard.index} failed permanently"))
+            return any(not isinstance(item, _Pending)
+                       and item.verb == "shutdown" for item in drained)
+        pending_run: list[_Pending] = []
+        for item in drained:
+            if isinstance(item, _Pending):
+                pending_run.append(item)
+                continue
+            self._send_dispatch(shard, pending_run)
+            pending_run = []
+            if item.verb == "shutdown":
+                with shard.lock:
+                    shard.command_queue.put(("shutdown",))
+                return True
+            self._send_control(shard, item)
+        self._send_dispatch(shard, pending_run)
+        return False
+
+    def _send_dispatch(self, shard: _Shard,
+                       pendings: list[_Pending]) -> None:
+        if not pendings:
+            return
+        with self._lock:
+            self._next_batch_id += 1
+            batch_id = self._next_batch_id
+            self.stats.dispatch_batches += 1
+        with shard.lock:
+            shard.inflight[batch_id] = pendings
+            shard.requeue_counts[batch_id] = 0
+            shard.command_queue.put(
+                ("dispatch", batch_id, [p.request for p in pendings]))
+
+    def _send_control(self, shard: _Shard, op: _ControlOp) -> None:
+        with shard.lock:
+            if op.verb == "crash":  # fault injection: no reply, no tracking
+                shard.command_queue.put(("crash",))
+                return
+            shard.control[op.op_id] = op
+            if op.verb == "observe":
+                subject, measurements = op.payload
+                shard.journal.append((op.op_id, subject, measurements))
+                shard.command_queue.put(
+                    ("observe", op.op_id, subject, measurements))
+            else:
+                shard.command_queue.put((op.verb, op.op_id))
+
+    def _inject_crash(self, shard_index: int) -> None:
+        """Fault-injection hook (tests): make one worker die abruptly.
+
+        The crash command rides the shard's FIFO outbox, so work enqueued
+        before it is processed first and work enqueued after it lands on
+        the dead worker — exactly the window the liveness monitor's
+        respawn-and-requeue path exists for.
+        """
+        shard = self._shards[shard_index]
+        op = _ControlOp(verb="crash", op_id=-1, future=None)
+        with shard.cv:
+            shard.outbox.append(op)
+            shard.cv.notify_all()
+
+    # ----------------------------------------------------------------- reader
+    def _reader_loop(self, shard: _Shard) -> None:
+        """Per-shard reader: resolve replies, watch liveness, respawn."""
+        while True:
+            with shard.lock:
+                result_queue = shard.result_queue
+            try:
+                message = result_queue.get(timeout=0.1)
+            except queue_module.Empty:
+                if shard.alive():
+                    continue
+                if self._closed:
+                    return
+                try:
+                    self._respawn(shard)
+                except Exception:  # noqa: BLE001 - a shard that cannot be
+                    # revived (fit failure, startup timeout) must fail its
+                    # clients deterministically, not hang them: flag it
+                    # first so routing and the sender reject new work,
+                    # then settle everything already tracked.
+                    shard.failed = True
+                    self._settle_shard_closed(shard)
+                    return
+                continue
+            verb = message[0]
+            if verb == "bye":
+                return
+            if verb == "answers":
+                self._resolve_answers(shard, message[1], message[2])
+            elif verb == "observed":
+                self._resolve_control(shard, message[1], message[2])
+            elif verb == "quiesced":
+                self._resolve_control(shard, message[1], None)
+            elif verb == "stats":
+                self._resolve_control(shard, message[1], message[2])
+            elif verb == "observe_error":
+                self._fail_control(shard, message[1],
+                                   RuntimeError(message[2]))
+            # "fitted" acks from a respawn race are ignorable noise.
+
+    def _resolve_answers(self, shard: _Shard, batch_id: int,
+                         responses: list[QueryResponse]) -> None:
+        with shard.lock:
+            pendings = shard.inflight.pop(batch_id, None)
+            shard.requeue_counts.pop(batch_id, None)
+        if pendings is None:  # duplicate after a crash-requeue race
+            return
+        now = time.perf_counter()
+        for pending, response in zip(pendings, responses):
+            response.latency_seconds = now - pending.enqueued_at
+            self._settle(pending, response)
+        for pending in pendings[len(responses):]:  # defensive: short reply
+            self._settle(pending, QueryResponse(
+                request=pending.request, subject=pending.request.subject,
+                model_version=-1, value=None,
+                error="worker returned too few responses"))
+        with self._lock:
+            answered = self.stats.per_shard_answered
+            answered[shard.index] = answered.get(shard.index, 0) \
+                + len(responses)
+
+    def _resolve_control(self, shard: _Shard, op_id: int, value) -> None:
+        with shard.lock:
+            op = shard.control.pop(op_id, None)
+        if op is not None and op.future is not None \
+                and not op.future.done():
+            op.future.set_result(value)
+
+    def _fail_control(self, shard: _Shard, op_id: int,
+                      exception: BaseException) -> None:
+        with shard.lock:
+            op = shard.control.pop(op_id, None)
+        if op is not None and op.future is not None \
+                and not op.future.done():
+            op.future.set_exception(exception)
+
+    # ---------------------------------------------------------------- respawn
+    def _respawn(self, shard: _Shard) -> None:
+        """Replace a dead worker and deterministically restore its state.
+
+        Runs on the shard's reader thread: start a fresh worker on fresh
+        queues, refit the shard's subjects, replay the observation
+        journal in order (reconstructing the exact refresh schedule the
+        dead worker had reached), then requeue the in-flight dispatch
+        batches — each at most ``max_requeues`` times, after which its
+        futures resolve with error responses so a poison batch cannot
+        respawn-loop the shard forever.
+        """
+        with self._lock:
+            self.stats.respawns += 1
+        exhausted: list[tuple[int, list[_Pending]]] = []
+        # One critical section for restart + replay + requeue: the sender
+        # cannot interleave a fresh command between the refit and the
+        # journal replay, which would reorder the observation stream the
+        # replica's recovered state depends on.
+        with shard.lock:
+            self._start_worker_locked(shard)
+            for op_id, subject, measurements in shard.journal:
+                shard.command_queue.put(
+                    ("observe", op_id, subject, measurements))
+            if shard.journal:
+                # Barrier: any refresh the replay re-triggers must land
+                # before the requeued batches are answered, so they see
+                # the same model state the dead worker had reached.
+                shard.command_queue.put(("sync",))
+            for batch_id, pendings in list(shard.inflight.items()):
+                shard.requeue_counts[batch_id] = \
+                    shard.requeue_counts.get(batch_id, 0) + 1
+                if shard.requeue_counts[batch_id] > self.max_requeues:
+                    shard.inflight.pop(batch_id, None)
+                    shard.requeue_counts.pop(batch_id, None)
+                    exhausted.append((batch_id, pendings))
+                    continue
+                with self._lock:
+                    self.stats.requeues += 1
+                shard.command_queue.put(
+                    ("dispatch", batch_id,
+                     [p.request for p in pendings]))
+        for batch_id, pendings in exhausted:
+            for pending in pendings:
+                self._settle(pending, QueryResponse(
+                    request=pending.request,
+                    subject=pending.request.subject, model_version=-1,
+                    value=None,
+                    error=f"batch {batch_id} requeued more than "
+                          f"{self.max_requeues} times across worker "
+                          "crashes"))

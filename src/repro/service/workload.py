@@ -6,6 +6,17 @@ with a long tail of heavier satisfaction and repair scans, and it contains
 :func:`mixed_workload` reproduces that shape deterministically from a seed,
 so the concurrency tests, the throughput benchmark, the campaign cell and
 the example all fire the same kind of traffic.
+
+For the sharded tier two long-horizon generators join it:
+:func:`drifting_measurement_stream` produces per-round observation batches
+whose objective distribution undergoes persistent regime shifts at chosen
+rounds (the signal a drift detector must catch — and must *not* fire on
+during the stationary rounds), and :func:`long_horizon_workload` weaves
+multi-subject query rounds and observation rounds into one serving
+history.  All seeds derive from :class:`numpy.random.SeedSequence` spawn
+trees keyed by round and subject position — the PR 2 discipline — so the
+same arguments always produce the byte-identical workload, no matter
+which process consumes it.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from repro.service.requests import (
     RepairRequest,
     SatisfactionRequest,
 )
+from repro.systems.base import Measurement
 
 
 def mixed_workload(subject: str, engine: CausalInferenceEngine,
@@ -131,6 +143,205 @@ def mixed_workload(subject: str, engine: CausalInferenceEngine,
         else:
             requests.append(hot_repairs[int(rng.integers(len(hot_repairs)))])
     return requests
+
+
+def _derived_seed(root_seed: int, *spawn_key: int) -> int:
+    """One integer seed from a SeedSequence spawn tree position."""
+    sequence = np.random.SeedSequence(root_seed, spawn_key=spawn_key)
+    return int(sequence.generate_state(1, np.uint64)[0])
+
+
+def drifting_measurement_stream(system, n_rounds: int, per_round: int,
+                                seed: int = 0,
+                                drift_rounds: Sequence[int] = (),
+                                drift_scale: float = 1.5
+                                ) -> list[list[Measurement]]:
+    """Per-round observation batches with persistent regime shifts.
+
+    Each round measures ``per_round`` freshly sampled configurations with
+    a round-keyed rng from the seed tree.  From every round listed in
+    ``drift_rounds`` onward, the measured objective values are scaled by
+    ``drift_scale`` (shifts compound if several drift rounds fire) — a
+    synthetic but persistent regime change, the kind of shift a resident
+    model cannot explain away and must refresh for.  Rounds before the
+    first drift round are stationary: same configuration distribution,
+    same measurement process, nothing for a drift detector to act on.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.systems.base.ConfigurableSystem` to measure.
+    n_rounds, per_round:
+        Stream shape: ``n_rounds`` batches of ``per_round`` measurements.
+    seed:
+        Root of the stream's seed tree; equal seeds give byte-equal
+        streams.
+    drift_rounds:
+        Round indices at which the regime shifts (empty = stationary).
+    drift_scale:
+        Multiplicative objective shift applied from a drift round onward.
+
+    Returns
+    -------
+    list of list of Measurement
+        ``n_rounds`` observation batches, in round order.
+    """
+    drift_at = set(int(r) for r in drift_rounds)
+    scale = 1.0
+    batches: list[list[Measurement]] = []
+    for round_index in range(int(n_rounds)):
+        rng = np.random.default_rng(_derived_seed(seed, round_index))
+        configurations = system.space.sample_configurations(
+            int(per_round), rng)
+        measured = system.measure_many(configurations, rng=rng)
+        if round_index in drift_at:
+            scale *= float(drift_scale)
+        if scale != 1.0:
+            measured = [Measurement(
+                configuration=m.configuration, events=m.events,
+                objectives={k: v * scale for k, v in m.objectives.items()},
+                environment=m.environment, replicates=m.replicates,
+                measurement_seconds=m.measurement_seconds)
+                for m in measured]
+        batches.append(measured)
+    return batches
+
+
+def long_horizon_workload(engines: Mapping[str, CausalInferenceEngine],
+                          systems: Mapping[str, object], n_rounds: int,
+                          queries_per_round: int,
+                          observations_per_round: int, seed: int = 0,
+                          drift_rounds: Sequence[int] = (),
+                          drift_scale: float = 1.5,
+                          observation_batches_per_round: int = 1,
+                          max_repairs: int = 32) -> list[dict]:
+    """A multi-subject serving history: query rounds + observation rounds.
+
+    Each round carries (a) a mixed query batch spread round-robin across
+    the subjects (so every shard of a sharded deployment sees balanced
+    traffic) and (b) per subject, ``observation_batches_per_round``
+    observation batches from that subject's
+    :func:`drifting_measurement_stream` — streams arrive in small
+    batches, and an eagerly refreshing tier pays one relearn per batch.
+    A serving tier processes round *k* by answering the queries,
+    streaming the observation batches through ``observe``, and quiescing
+    before round *k+1* — see :func:`serve_rounds`.
+
+    Parameters
+    ----------
+    engines:
+        ``subject -> fitted engine`` (payload vocabulary for the query
+        generator).
+    systems:
+        ``subject -> ConfigurableSystem`` (objective directions and the
+        measurement process).
+    n_rounds, queries_per_round, observations_per_round:
+        History shape; ``queries_per_round`` splits evenly across
+        subjects and ``observations_per_round`` evenly across the
+        round's observation batches.
+    seed, drift_rounds, drift_scale:
+        Seed tree root and regime-shift schedule, forwarded per subject
+        (``drift_rounds`` are round indices; the shift lands on the
+        round's first observation batch).
+    observation_batches_per_round:
+        How many separate ``observe`` calls deliver a round's
+        observations.
+    max_repairs:
+        Candidate-grid cap carried by generated repair queries.
+
+    Returns
+    -------
+    list of dict
+        One ``{"queries": [...], "observations": {subject: [batch,
+        ...]}}`` per round.
+    """
+    subjects = sorted(engines)
+    if not subjects:
+        raise ValueError("long-horizon workload needs at least one subject")
+    # Exactly queries_per_round queries per round (so any client count
+    # dividing it splits evenly): distribute the remainder one-by-one
+    # over the leading subjects.
+    base, remainder = divmod(int(queries_per_round), len(subjects))
+    counts = [base + (1 if position < remainder else 0)
+              for position in range(len(subjects))]
+    batches_per_round = max(int(observation_batches_per_round), 1)
+    per_batch = max(int(observations_per_round) // batches_per_round, 1)
+    streams = {
+        subject: drifting_measurement_stream(
+            systems[subject], int(n_rounds) * batches_per_round, per_batch,
+            seed=_derived_seed(seed, 1, position),
+            drift_rounds=[int(r) * batches_per_round
+                          for r in drift_rounds],
+            drift_scale=drift_scale)
+        for position, subject in enumerate(subjects)
+    }
+    rounds: list[dict] = []
+    for round_index in range(int(n_rounds)):
+        per_subject_queries = [
+            mixed_workload(subject, engines[subject],
+                           systems[subject].objectives, counts[position],
+                           seed=_derived_seed(seed, 2, round_index,
+                                              position),
+                           max_repairs=max_repairs)
+            for position, subject in enumerate(subjects)
+        ]
+        # Round-robin interleave so contiguous client slices mix subjects.
+        queries = [queue[i] for i in range(max(counts))
+                   for queue in per_subject_queries if i < len(queue)]
+        lo = round_index * batches_per_round
+        rounds.append({
+            "queries": queries,
+            "observations": {
+                subject: streams[subject][lo:lo + batches_per_round]
+                for subject in subjects},
+        })
+    return rounds
+
+
+def serve_rounds(service, rounds: Sequence[Mapping], n_clients: int
+                 ) -> tuple[list, float]:
+    """Drive a long-horizon workload through a serving tier, timed.
+
+    For every round: answer the query batch with ``n_clients``
+    barrier-started concurrent clients (:func:`serve_concurrently`),
+    stream each subject's observation batch through ``service.observe``,
+    and ``service.quiesce()`` so any triggered model refresh lands before
+    the next round — the deterministic phase alignment that lets two
+    services' serving histories be compared byte for byte.  Works with
+    both :class:`~repro.service.service.QueryService` and
+    :class:`~repro.service.sharding.ShardedQueryService` (any object with
+    ``submit_many``, ``observe`` and ``quiesce``).
+
+    Returns
+    -------
+    tuple
+        ``(responses, seconds)``: all query responses in workload order,
+        and the wall-clock seconds over the whole horizon (queries,
+        observation streaming and refreshes included).
+    """
+    from concurrent.futures import Future
+
+    responses: list = []
+    started = time.perf_counter()
+    for round_spec in rounds:
+        answered, _, _ = serve_concurrently(service, round_spec["queries"],
+                                            n_clients)
+        responses.extend(answered)
+        # Observation batches are pipelined (no per-batch acknowledgement
+        # wait); the quiesce barrier below both confirms their delivery
+        # and lands any refresh they triggered before the next round.
+        acks = []
+        for subject, batches in round_spec["observations"].items():
+            for batch in batches:
+                acks.append(service.observe(subject, batch, block=False))
+        service.quiesce()
+        # The FIFO barrier guarantees every ack already arrived; collect
+        # them so an observe failure surfaces here, at its round, rather
+        # than as a silent identity mismatch later.
+        for ack in acks:
+            if isinstance(ack, Future):
+                ack.result(timeout=60)
+    return responses, time.perf_counter() - started
 
 
 def canonical_answers(responses: Sequence) -> list[str]:

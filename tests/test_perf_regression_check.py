@@ -1,0 +1,81 @@
+"""Tests of the CI perf-regression gate (benchmarks/check_perf_regression.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+CHECKER_PATH = (Path(__file__).resolve().parent.parent / "benchmarks"
+                / "check_perf_regression.py")
+spec = importlib.util.spec_from_file_location("check_perf_regression",
+                                              CHECKER_PATH)
+checker = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(checker)
+
+BASELINE = {
+    "relearn": {"median_speedup": 9.0, "serial_ms": 400.0},
+    "service": {"speedup": 4.5, "coalesced_ratio": 35.0,
+                "throughput_qps": 6000.0},
+    "identity": {"identical": True},
+}
+
+
+def test_tracked_metrics_selects_relative_keys_only():
+    metrics = checker.tracked_metrics(BASELINE)
+    assert metrics == {"relearn.median_speedup": 9.0,
+                       "service.speedup": 4.5,
+                       "service.coalesced_ratio": 35.0}
+
+
+def test_within_tolerance_passes():
+    fresh = json.loads(json.dumps(BASELINE))
+    fresh["service"]["speedup"] = 4.5 * 0.85       # -15% < 20% tolerance
+    fresh["relearn"]["median_speedup"] = 11.0      # improvement
+    regressions, report = checker.compare(BASELINE, fresh)
+    assert regressions == []
+    assert any("ok" in line for line in report)
+
+
+def test_slowdown_beyond_tolerance_fails():
+    fresh = json.loads(json.dumps(BASELINE))
+    fresh["service"]["speedup"] = 4.5 * 0.7        # -30% > 20% tolerance
+    regressions, _ = checker.compare(BASELINE, fresh)
+    assert len(regressions) == 1
+    assert "service.speedup" in regressions[0]
+    # A tighter tolerance catches smaller slips; a looser one forgives.
+    assert checker.compare(BASELINE, fresh, tolerance=0.5)[0] == []
+
+
+def test_missing_tracked_metric_is_a_regression():
+    fresh = json.loads(json.dumps(BASELINE))
+    del fresh["relearn"]
+    regressions, _ = checker.compare(BASELINE, fresh)
+    assert any("missing" in r for r in regressions)
+
+
+def test_new_experiment_only_establishes_a_baseline():
+    fresh = json.loads(json.dumps(BASELINE))
+    fresh["sharded"] = {"speedup": 4.2}
+    regressions, report = checker.compare(BASELINE, fresh)
+    assert regressions == []
+    assert any("sharded.speedup" in line and "new" in line
+               for line in report)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+    fresh_path = tmp_path / "fresh.json"
+    baseline_path.write_text(json.dumps(BASELINE))
+
+    fresh = json.loads(json.dumps(BASELINE))
+    fresh_path.write_text(json.dumps(fresh))
+    assert checker.main(["--baseline", str(baseline_path),
+                         "--fresh", str(fresh_path)]) == 0
+    assert "no perf regressions" in capsys.readouterr().out
+
+    fresh["service"]["speedup"] = 1.0
+    fresh_path.write_text(json.dumps(fresh))
+    assert checker.main(["--baseline", str(baseline_path),
+                         "--fresh", str(fresh_path)]) == 1
+    assert "PERF REGRESSIONS" in capsys.readouterr().out

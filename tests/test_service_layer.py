@@ -232,14 +232,42 @@ def test_cancelled_future_does_not_kill_dispatcher(served):
     service.close()
 
 
-def test_close_without_dispatcher_cancels_queued_futures(served):
+def test_close_resolves_undrainable_futures_with_service_closed(served):
+    """Regression (ISSUE 5): close() during an in-flight submit_async must
+    resolve the future with a deterministic ServiceClosedError — never
+    hang the client, never silently cancel, never leak the queue entry."""
     registry, _, _ = served
     request = EffectRequest.of(SUBJECT, "Throughput", {"CachePolicy": 0.0})
     service = QueryService(registry, auto_start=False)
-    orphan = service.submit_async(request)
+    orphans = [service.submit_async(request) for _ in range(3)]
     service.close()
-    # No dispatcher ever ran; the future must not hang a blocked client.
-    assert orphan.cancelled()
+    # No dispatcher ever ran; every future resolves with the closed error.
+    for orphan in orphans:
+        with pytest.raises(ServiceClosedError):
+            orphan.result(timeout=5)
+    assert service.n_pending == 0
+    assert service.stats.closed_errors == 3
+    # A future the client had already cancelled stays cancelled (and is
+    # counted as such, not as a closed error).
+    service = QueryService(registry, auto_start=False)
+    cancelled = service.submit_async(request)
+    assert cancelled.cancel()
+    service.close()
+    assert cancelled.cancelled()
+    assert service.stats.cancelled == 1 and service.stats.closed_errors == 0
+
+
+def test_close_with_live_dispatcher_still_answers_admitted_requests(served):
+    """The drain promise survives the bugfix: work admitted before close()
+    is answered by a running dispatcher, not errored."""
+    registry, _, _ = served
+    request = EffectRequest.of(SUBJECT, "Throughput", {"CachePolicy": 3.0})
+    service = QueryService(registry, batch_window=0.05)
+    futures = [service.submit_async(request) for _ in range(6)]
+    service.close()  # dispatcher is mid-window with everything still queued
+    results = [future.result(timeout=30) for future in futures]
+    assert all(response.ok for response in results)
+    assert service.stats.closed_errors == 0
     assert service.n_pending == 0
 
 
