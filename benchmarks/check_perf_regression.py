@@ -32,7 +32,10 @@ import sys
 from pathlib import Path
 
 #: Relative (runner-independent) metric keys, all higher-is-better.
-TRACKED_KEYS = ("speedup", "median_speedup", "coalesced_ratio")
+#: ``cache_hit_rate`` is a workload-determined fraction, not a timing, so
+#: it transfers between runners like the speedup ratios do.
+TRACKED_KEYS = ("speedup", "median_speedup", "coalesced_ratio",
+                "cache_hit_rate")
 DEFAULT_TOLERANCE = 0.20
 
 

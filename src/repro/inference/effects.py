@@ -153,8 +153,19 @@ def option_effects_on_objective(model: FittedPerformanceModel,
 
     Used both as the sampling heuristic of Stage III (options are perturbed
     with probability proportional to their causal effect) and as the weight
-    vector of the ACE-weighted Jaccard accuracy metric.
+    vector of the ACE-weighted Jaccard accuracy metric.  With a batched
+    ``evaluator`` the whole option set is answered by one
+    :func:`average_causal_effects_batch` sweep (bitwise equal to the
+    per-option calls, see its docstring) instead of one engine round-trip
+    per option.
     """
+    options = list(options)
+    if evaluator is not None:
+        signed = average_causal_effects_batch(
+            model, objective, options, domains=domains,
+            max_contexts=max_contexts, evaluator=evaluator)
+        return {option: abs(effect)
+                for option, effect in zip(options, signed)}
     effects: dict[str, float] = {}
     for option in options:
         effects[option] = abs(average_causal_effect(

@@ -143,11 +143,15 @@ def _intervenable_path_options(paths: Sequence[CausalPath],
                                constraints: StructuralConstraints
                                ) -> list[str]:
     """Intervenable options on the ranked paths, in first-appearance order."""
+    intervenable = {option for option in constraints.options()
+                    if constraints.is_intervenable(option)}
     path_options: list[str] = []
+    seen: set[str] = set()
     for path in paths:
-        for option in path.options_on_path(constraints):
-            if option not in path_options and constraints.is_intervenable(option):
-                path_options.append(option)
+        for node in path.nodes:
+            if node in intervenable and node not in seen:
+                seen.add(node)
+                path_options.append(node)
     return path_options
 
 
@@ -156,7 +160,8 @@ def enumerate_repair_candidates(paths: Sequence[CausalPath],
                                 domains: Mapping[str, Sequence[float]],
                                 faulty_configuration: Mapping[str, float],
                                 max_combined_options: int = 4,
-                                max_repairs: int = 300
+                                max_repairs: int = 300,
+                                path_options: Sequence[str] | None = None
                                 ) -> list[dict[str, float]]:
     """Enumerate the candidate-repair grid for a fault.
 
@@ -166,9 +171,12 @@ def enumerate_repair_candidates(paths: Sequence[CausalPath],
     ``max_repairs`` candidates in total.  Enumeration is deterministic in
     the path ranking and the domain order, so the grid can be built once
     (and memoized by the :class:`~repro.inference.query_plan.QueryPlan`)
-    and scored by either the scalar or the batched evaluator.
+    and scored by either the scalar or the batched evaluator.  Callers that
+    already hold the :func:`_intervenable_path_options` list (e.g. for a
+    memo key) pass it via ``path_options`` to skip recomputation.
     """
-    path_options = _intervenable_path_options(paths, constraints)
+    if path_options is None:
+        path_options = _intervenable_path_options(paths, constraints)
 
     candidates: list[dict[str, float]] = []
     for option in path_options:
@@ -238,15 +246,21 @@ def score_repair_candidates_batched(evaluator,
     sign = np.array([1.0 if objectives[o] == "minimize" else -1.0
                      for o in targets])
     margins = sign * (fault - predicted) / scale
-    ice = np.tanh(4.0 * margins).mean(axis=1)
-    improvement = margins.mean(axis=1)
+    ice = np.tanh(4.0 * margins).mean(axis=1).tolist()
+    improvement = margins.mean(axis=1).tolist()
+    # One .tolist() per target column beats 256 scalar np.float64 coercions.
+    columns = [predicted[:, t].tolist() for t in range(len(targets))]
+    target_order = sorted(range(len(targets)), key=targets.__getitem__)
     repairs: list[Repair] = []
     for i, change in enumerate(candidates):
-        values = {o: float(predicted[i, t]) for t, o in enumerate(targets)}
-        repairs.append(Repair(changes=tuple(sorted(change.items())),
-                              ice=float(ice[i]),
-                              improvement=float(improvement[i]),
-                              predicted=tuple(sorted(values.items()))))
+        items = list(change.items())
+        if len(items) > 1:
+            items.sort()
+        repairs.append(Repair(changes=tuple(items),
+                              ice=ice[i],
+                              improvement=improvement[i],
+                              predicted=tuple((targets[t], columns[t][i])
+                                              for t in target_order)))
     return repairs
 
 
@@ -267,18 +281,19 @@ def generate_repair_set(model: FittedPerformanceModel,
     reference path; both rankings use the deterministic
     :func:`repair_sort_key`, so they compare byte-identically.
     """
+    path_options = _intervenable_path_options(paths, constraints)
+
     def build() -> list[dict[str, float]]:
         return enumerate_repair_candidates(
             paths, constraints, domains, faulty_configuration,
             max_combined_options=max_combined_options,
-            max_repairs=max_repairs)
+            max_repairs=max_repairs, path_options=path_options)
 
     if plan is not None:
         # The grid is fully determined by the (ordered) intervenable path
         # options with their domains, the faulty values and the caps — the
         # key captures all of them, so changed constraints or domains can
         # never replay a stale grid.
-        path_options = _intervenable_path_options(paths, constraints)
         key = ("repair_grid",
                tuple((option,
                       tuple(float(v) for v in domains.get(option, ())))

@@ -37,7 +37,12 @@ import numpy as np
 
 from repro.graph.dag import CausalDAG
 from repro.scm.fitting import FittedPerformanceModel
+from repro.scm.fused import FusedProgram, compile_fused_program
 from repro.scm.model import StructuralCausalModel
+
+#: compiled fused programs kept per plan before the cache is dropped
+#: wholesale (distinct intervention key sets are few in practice).
+_MAX_FUSED_PROGRAMS = 128
 
 
 def evaluate_mechanism_batch(mechanism, columns: Mapping[str, np.ndarray],
@@ -55,6 +60,18 @@ def evaluate_mechanism_batch(mechanism, columns: Mapping[str, np.ndarray],
     return np.array([mechanism.evaluate({p: float(columns[p][i])
                                          for p in parents})
                      for i in range(n_rows)], dtype=float)
+
+
+def _value_at(value, j: int) -> float:
+    """Row ``j`` of a values entry (a broadcast scalar or an ``(N,)`` column).
+
+    Fused programs leave base values and constant steps as Python-float
+    scalars instead of materialising ``np.full`` columns; extraction has to
+    accept both representations.
+    """
+    if isinstance(value, np.ndarray):
+        return float(value[j])
+    return float(value)
 
 
 def group_by_keyset(mappings: Sequence[Mapping[str, float]]
@@ -89,6 +106,11 @@ class StructuralPlan:
         self._topo: tuple[str, ...] = tuple(dag.topological_order())
         self._affected: dict[frozenset, frozenset] = {}
         self._schedules: dict[frozenset, tuple[str, ...]] = {}
+        #: compiled fused programs (see :mod:`repro.scm.fused`), claimed by
+        #: exactly one fitted model at a time — programs embed that model's
+        #: coefficients, so a different owner must not reuse them.
+        self._fused_programs: dict = {}
+        self._fused_owner: object = None
 
     @property
     def dag(self) -> CausalDAG:
@@ -121,9 +143,26 @@ class StructuralPlan:
                 v for v in self._topo if v in affected and v not in key)
         return cached
 
+    def fused_programs(self, owner: object) -> dict:
+        """The fused-program cache, claimed for ``owner``.
+
+        Compiled programs embed the owning model's equation coefficients;
+        handing the cache to a different owner (the engine rebuilds its
+        batched evaluator around a freshly fitted model on every refresh)
+        clears it so stale coefficients can never be replayed.
+        """
+        if self._fused_owner is not owner:
+            self._fused_programs = {}
+            self._fused_owner = owner
+        return self._fused_programs
+
     def _invalidate(self) -> None:
         self._affected.clear()
         self._schedules.clear()
+        # Fused programs bake in propagation schedules of the old structure;
+        # a structural rebind must drop them with the other memos.
+        self._fused_programs = {}
+        self._fused_owner = None
 
     def rebind(self, dag: CausalDAG, structure_changed: bool = True) -> None:
         """Point the plan at a (possibly re-learned) DAG.
@@ -293,7 +332,8 @@ class BatchedFittedModel:
     """
 
     def __init__(self, model: FittedPerformanceModel,
-                 plan: StructuralPlan | None = None) -> None:
+                 plan: StructuralPlan | None = None,
+                 fused: bool = True) -> None:
         self._model = model
         self._plan = plan if plan is not None else StructuralPlan(model.dag)
         self._column_index = {name: i
@@ -304,6 +344,12 @@ class BatchedFittedModel:
         #: off the data epoch like the means — intervention-independent.
         self._row_residuals: dict[str, np.ndarray] | None = None
         self._row_residuals_epoch = -1
+        #: route propagation through compiled fused programs (one GEMM per
+        #: topological level); ``fused=False`` keeps the per-node loops as
+        #: the intermediate differential oracle between fused and scalar.
+        self._fused = bool(fused)
+        #: context-matrix memo: ``(data_epoch, max_contexts, matrix)``.
+        self._context_cache: tuple[int, int, np.ndarray] | None = None
 
     @property
     def model(self) -> FittedPerformanceModel:
@@ -312,6 +358,27 @@ class BatchedFittedModel:
     @property
     def plan(self) -> StructuralPlan:
         return self._plan
+
+    @property
+    def fused(self) -> bool:
+        """Whether propagation runs through compiled fused programs."""
+        return self._fused
+
+    def _program(self, key, schedule: Sequence[str], known,
+                 missing: str = "skip", column_names: Iterable[str] = (),
+                 vector: Iterable[str] = ()) -> FusedProgram:
+        """Compile-or-fetch the fused program for one cache ``key``."""
+        programs = self._plan.fused_programs(self._model)
+        program = programs.get(key)
+        if program is None:
+            if len(programs) >= _MAX_FUSED_PROGRAMS:
+                programs.clear()
+            program = compile_fused_program(self._model, schedule, known,
+                                            missing=missing,
+                                            column_names=column_names,
+                                            vector=vector)
+            programs[key] = program
+        return program
 
     def _column_mean(self, variable: str) -> float:
         epoch = self._model.data.data_epoch
@@ -339,38 +406,61 @@ class BatchedFittedModel:
         for keys, idx in group_by_keyset(assignments):
             group = [assignments[i] for i in idx]
             n = len(group)
-            values: dict[str, np.ndarray] = {
+            values: dict = {
                 key: np.array([float(a[key]) for a in group], dtype=float)
                 for key in keys
             }
-            for variable in self._plan.topological_order:
-                if variable in values:
-                    continue
-                if model.has_equation(variable):
-                    equation = model.equation(variable)
-                    if all(p in values for p in equation.parents):
-                        values[variable] = equation.predict_batch(values, n)
+            if self._fused:
+                schedule = [v for v in self._plan.topological_order
+                            if v not in values]
+                program = self._program(("predict", keys), schedule, keys,
+                                        missing="fallback",
+                                        column_names=self._column_index,
+                                        vector=keys)
+                program.execute(values, n, means=self._column_mean,
+                                scalar_token=self._observation_token({}))
+            else:
+                for variable in self._plan.topological_order:
+                    if variable in values:
                         continue
-                if variable in self._column_index:
-                    values[variable] = np.full(n, self._column_mean(variable))
-                else:
-                    values[variable] = np.zeros(n)
+                    if model.has_equation(variable):
+                        equation = model.equation(variable)
+                        if all(p in values for p in equation.parents):
+                            values[variable] = equation.predict_batch(values,
+                                                                      n)
+                            continue
+                    if variable in self._column_index:
+                        values[variable] = np.full(
+                            n, self._column_mean(variable))
+                    else:
+                        values[variable] = np.zeros(n)
             wanted = list(values) if targets is None else list(targets)
             for j, i in enumerate(idx):
-                results[i] = {t: float(values[t][j]) for t in wanted}
+                results[i] = {t: _value_at(values[t], j) for t in wanted}
         # Every index belongs to exactly one key-set group, so the list is
         # fully populated.
         return results
 
     # --------------------------------------------------------- interventions
     def _context_matrix(self, max_contexts: int) -> np.ndarray:
-        """The observed contexts, subsampled exactly like the scalar path."""
+        """The observed contexts, subsampled exactly like the scalar path.
+
+        Memoized per ``(data_epoch, max_contexts)`` — repeated ACE sweeps
+        and interventional batches between observations reuse one matrix
+        instead of re-slicing the dataset on every call.
+        """
+        epoch = self._model.data.data_epoch
+        cached = self._context_cache
+        if cached is not None and cached[0] == epoch \
+                and cached[1] == max_contexts:
+            return cached[2]
         matrix = self._model.data.values
         n_rows = matrix.shape[0]
         if n_rows > max_contexts:
             stride = n_rows / max_contexts
             index = [int(i * stride) for i in range(max_contexts)]
             matrix = matrix[index]
+        self._context_cache = (epoch, max_contexts, matrix)
         return matrix
 
     def interventional_expectation_batch(
@@ -391,6 +481,9 @@ class BatchedFittedModel:
         n_contexts = context.shape[0]
         if n_contexts == 0:
             return out
+        if self._fused:
+            return self._interventional_fused(target, interventions, out,
+                                              context)
         for keys, idx in group_by_keyset(interventions):
             n = len(idx)
             values: dict[str, np.ndarray] = {
@@ -415,6 +508,47 @@ class BatchedFittedModel:
                 out[idx] = values[target].mean(axis=1)
         return out
 
+    def _interventional_fused(self, target: str,
+                              interventions: Sequence[Mapping[str, float]],
+                              out: np.ndarray,
+                              context: np.ndarray) -> np.ndarray:
+        """Fused-program body of :meth:`interventional_expectation_batch`.
+
+        Per intervention key set the contexts are flattened row-major into
+        ``(n_group * n_contexts,)`` columns — but only the columns the
+        compiled program actually reads are materialised.
+        """
+        n_contexts = context.shape[0]
+        for keys, idx in group_by_keyset(interventions):
+            keyset = set(keys)
+            schedule = self._plan.propagation_schedule(keys)
+            known = keyset | set(self._column_index)
+            program = self._program(("do", keys), schedule, known,
+                                    vector=known)
+            n = len(idx) * n_contexts
+            values: dict = {}
+            for name in program.reads:
+                if name not in keyset:
+                    values[name] = np.tile(
+                        context[:, self._column_index[name]], len(idx))
+            for key in keys:
+                column = np.array([float(interventions[i][key])
+                                   for i in idx], dtype=float)
+                values[key] = np.repeat(column, n_contexts)
+            program.execute(values, n)
+            if target in program.produces:
+                column = values[target]
+                if isinstance(column, np.ndarray):
+                    out[idx] = column.reshape(len(idx),
+                                              n_contexts).mean(axis=1)
+                else:
+                    out[idx] = float(column)
+            elif target in keyset:
+                out[idx] = [float(interventions[i][target]) for i in idx]
+            elif target in self._column_index:
+                out[idx] = context[:, self._column_index[target]].mean()
+        return out
+
     # -------------------------------------------------------- counterfactual
     def _abduct_residuals(self, observation: Mapping[str, float]
                           ) -> dict[str, float]:
@@ -432,14 +566,48 @@ class BatchedFittedModel:
                                        - equation.predict(observation))
         return residuals
 
+    def _observation_token(self, scalars: Mapping[str, float]) -> tuple:
+        """Equality token over every broadcast scalar a program may read.
+
+        Keys the per-program scalar-fold memo (see
+        :meth:`FusedProgram.execute`): the data epoch covers the empirical
+        means, the items cover the observation's base values — together
+        they determine every scalar input of the compiled programs.
+        """
+        return (self._model.data.data_epoch,
+                tuple(sorted(scalars.items())))
+
     def _counterfactual_columns(self, observation: Mapping[str, float],
                                 interventions: Sequence[Mapping[str, float]]
                                 ):
-        """Yield ``(indices, values)`` per key-set group of interventions."""
+        """Yield ``(indices, values)`` per key-set group of interventions.
+
+        On the fused path the observation enters as broadcast Python-float
+        scalars (no ``np.full`` per column — the profiled hot spot of the
+        per-node path) and only recomputed variables come back as ``(N,)``
+        columns; consumers extract rows through :func:`_value_at`.
+        """
         model = self._model
         residuals = self._abduct_residuals(observation)
+        base = ({name: float(value) for name, value in observation.items()}
+                if self._fused else None)
+        token = (self._observation_token(base) if self._fused else None)
         for keys, idx in group_by_keyset(interventions):
             n = len(idx)
+            if self._fused:
+                values = dict(base)
+                for key in keys:
+                    values[key] = np.array(
+                        [float(interventions[i][key]) for i in idx],
+                        dtype=float)
+                known = frozenset(observation) | set(keys)
+                program = self._program(("cf", keys, frozenset(observation)),
+                                        self._plan.propagation_schedule(keys),
+                                        known, vector=keys)
+                program.execute(values, n, residuals=residuals,
+                                scalar_token=token)
+                yield idx, values
+                continue
             values: dict[str, np.ndarray] = {
                 name: np.full(n, float(value))
                 for name, value in observation.items()
@@ -472,7 +640,8 @@ class BatchedFittedModel:
                                                         interventions):
             names = list(values)
             for j, i in enumerate(idx):
-                results[i] = {name: float(values[name][j]) for name in names}
+                results[i] = {name: _value_at(values[name], j)
+                              for name in names}
         return results
 
     def counterfactual_targets_batch(
@@ -494,12 +663,102 @@ class BatchedFittedModel:
                 out[:, t] = float(observation[target])
             else:
                 out[:, t] = float((fallbacks or {}).get(target, 0.0))
+        if not interventions:
+            return out
+        if self._fused:
+            merged = self._merged_counterfactual_targets(
+                observation, interventions, targets, out)
+            if merged is not None:
+                return merged
         for idx, values in self._counterfactual_columns(observation,
                                                         interventions):
             for t, target in enumerate(targets):
                 if target in values:
                     out[idx, t] = values[target]
         return out
+
+    def _merged_counterfactual_targets(
+            self, observation: Mapping[str, float],
+            interventions: Sequence[Mapping[str, float]],
+            targets: Sequence[str], out: np.ndarray) -> np.ndarray | None:
+        """Score heterogeneous interventions in one fused execution.
+
+        Instead of one program per intervention key set (candidate repair
+        grids produce dozens of tiny groups), the whole batch runs through
+        one program over the *union* of the intervened keys: a row that does
+        not intervene on a key carries the observation's base value in that
+        column, and every recomputed variable it is not downstream of
+        reconstructs its base value exactly (``prediction + abducted
+        residual``), so the result matches the per-group semantics to float
+        round-off.  Returns ``None`` when the reconstruction argument does
+        not hold — a key downstream of another key, a row intervening on a
+        key absent from the observation, or a recomputed equation without an
+        abducted residual — in which case the caller falls back to the
+        per-group path.
+        """
+        union: set[str] = set()
+        for intervention in interventions:
+            union |= intervention.keys()
+        if not union:
+            return out
+        keys = tuple(sorted(union))
+        guard_key = ("cfm-guard", keys, frozenset(observation))
+        programs = self._plan.fused_programs(self._model)
+        eligible = programs.get(guard_key)
+        if eligible is None:
+            eligible = self._merged_guard(keys, union, observation)
+            if len(programs) >= _MAX_FUSED_PROGRAMS:
+                programs.clear()
+            programs[guard_key] = eligible
+        if not eligible:
+            return None
+        schedule = self._plan.propagation_schedule(keys)
+        residuals = self._abduct_residuals(observation)
+        values: dict = {name: float(value)
+                        for name, value in observation.items()}
+        for key in keys:
+            base = observation.get(key)
+            if base is None:
+                try:
+                    column = np.array([float(iv[key])
+                                       for iv in interventions], dtype=float)
+                except KeyError:
+                    return None
+            else:
+                base = float(base)
+                column = np.array([float(iv.get(key, base))
+                                   for iv in interventions], dtype=float)
+            values[key] = column
+        program = self._program(("cfm", keys, frozenset(observation)),
+                                schedule, frozenset(observation) | union,
+                                vector=keys)
+        token = self._observation_token(
+            {name: float(value) for name, value in observation.items()})
+        program.execute(values, len(interventions), residuals=residuals,
+                        scalar_token=token)
+        for t, target in enumerate(targets):
+            if target in values:
+                out[:, t] = values[target]
+        return out
+
+    def _merged_guard(self, keys: tuple, union: set,
+                      observation: Mapping[str, float]) -> bool:
+        """Whether the merged-execution reconstruction argument holds.
+
+        Depends only on the key set and the observation's *names* (residual
+        availability is a function of which variables were observed, not of
+        their values), so the verdict is cached per ``(keys, names)`` in the
+        plan's fused-program table.
+        """
+        for key in keys:
+            if self._plan.affected_variables((key,)) & (union - {key}):
+                return False
+        residuals = self._abduct_residuals(observation)
+        model = self._model
+        for node in self._plan.propagation_schedule(keys):
+            if model.has_equation(node) and node not in residuals:
+                return False
+        return True
 
     def counterfactual_rows_batch(self, intervention: Mapping[str, float],
                                   target: str) -> np.ndarray:
@@ -526,8 +785,25 @@ class BatchedFittedModel:
             }
             self._row_residuals_epoch = epoch
         residuals = self._row_residuals
-        values: dict[str, np.ndarray] = dict(columns)
+        values: dict = dict(columns)
         keys = list(intervention)
+        if self._fused:
+            for key in keys:
+                values[key] = float(intervention[key])
+            program = self._program(("rows", frozenset(keys)),
+                                    self._plan.propagation_schedule(keys),
+                                    set(columns) | set(keys),
+                                    vector=columns)
+            token = self._observation_token(
+                {key: float(intervention[key]) for key in keys})
+            program.execute(values, n, residuals=residuals,
+                            scalar_token=token)
+            if target in values:
+                column = values[target]
+                return (np.asarray(column, dtype=float)
+                        if isinstance(column, np.ndarray)
+                        else np.full(n, float(column)))
+            return np.zeros(n)
         for key in keys:
             values[key] = np.full(n, float(intervention[key]))
         for variable in self._plan.propagation_schedule(keys):

@@ -13,6 +13,9 @@ caller; this package fronts the same engines for many concurrent clients:
   concurrently submitted queries of one kind against one model version
   into single batched engine calls, byte-identical to one-at-a-time
   dispatch.
+* :mod:`repro.service.result_cache` — :class:`ResultCache`: per-entry
+  cross-request memoization of answered queries keyed by
+  ``(model_version, item_key)``, version-invalidated on refresh.
 * :mod:`repro.service.service` — :class:`QueryService`: the thread-safe
   ``submit`` / ``submit_many`` facade with admission control and
   per-subject fairness.
@@ -46,6 +49,7 @@ from repro.service.sharding import (
     registry_from_specs,
     shard_of,
 )
+from repro.service.result_cache import ResultCache, fresh_value
 from repro.service.requests import (
     AceRequest,
     EffectRequest,
@@ -86,6 +90,7 @@ __all__ = [
     "QueryService",
     "RepairRequest",
     "RequestBatcher",
+    "ResultCache",
     "SatisfactionRequest",
     "ServiceClosedError",
     "ServiceKind",
@@ -104,4 +109,5 @@ __all__ = [
     "shard_of",
     "unicorn_from_spec",
     "canonical_answers",
+    "fresh_value",
 ]

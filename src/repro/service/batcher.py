@@ -45,24 +45,20 @@ from repro.service.requests import (
     ServiceKind,
     repair_payload,
 )
-
-
-def _fresh_value(value: object) -> object:
-    """Independent copy of a JSON-like answer payload.
-
-    Answer values are floats, flat dicts or lists of (nested) dicts;
-    recursing over exactly those shapes is much cheaper than
-    ``copy.deepcopy`` on the hot fan-out path.
-    """
-    if isinstance(value, dict):
-        return {key: _fresh_value(item) for key, item in value.items()}
-    if isinstance(value, list):
-        return [_fresh_value(item) for item in value]
-    return value
+from repro.service.result_cache import MISS, fresh_value as _fresh_value
 
 
 class RequestBatcher:
     """Groups, deduplicates and dispatches serving-layer requests.
+
+    When the registry entry carries a
+    :class:`~repro.service.result_cache.ResultCache`, both dispatch paths
+    consult it per distinct item key at the entry's current model version
+    before touching the engine: a hit serves the memoized answer (and
+    issues no engine call), a miss evaluates and stores the answer for the
+    next batch.  Errors are never cached.  Because cached values were
+    computed by an identical engine call against the same model version,
+    answers are byte-identical with the cache on or off.
 
     Parameters
     ----------
@@ -77,6 +73,9 @@ class RequestBatcher:
         #: total engine calls issued / requests answered, for stats.
         self.calls = 0
         self.answered = 0
+        #: cross-request result-cache traffic (see the class docstring).
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -------------------------------------------------------------- dispatch
     def dispatch(self, entry: ModelEntry,
@@ -120,10 +119,26 @@ class RequestBatcher:
     # -------------------------------------------------------------- internals
     def _serial(self, entry: ModelEntry, requests: list[QueryRequest],
                 dispatch_index: int) -> list[QueryResponse]:
+        cache = entry.result_cache
         responses = []
         for request in requests:
+            version = entry.version
+            if cache is not None:
+                cached = cache.lookup(version, request.item_key())
+                if cached is not MISS:
+                    self.cache_hits += 1
+                    responses.append(QueryResponse(
+                        request=request, subject=entry.key,
+                        model_version=version, value=cached,
+                        batched=False, batch_size=1,
+                        dispatch_index=dispatch_index))
+                    self.answered += 1
+                    continue
+                self.cache_misses += 1
             try:
                 value = self._evaluate_one(entry, request)
+                if cache is not None:
+                    cache.store(version, request.item_key(), value)
                 responses.append(QueryResponse(
                     request=request, subject=entry.key,
                     model_version=entry.version, value=value,
@@ -146,36 +161,59 @@ class RequestBatcher:
         for i, request in enumerate(requests):
             groups.setdefault(request.group_key(), []).append(i)
 
+        cache = entry.result_cache
         responses: list[QueryResponse | None] = [None] * len(requests)
         for indices in groups.values():
             # Deduplicate by item key in first-appearance order.
             distinct: dict[tuple, list[int]] = {}
             for i in indices:
                 distinct.setdefault(requests[i].item_key(), []).append(i)
-            leaders = [fanout[0] for fanout in distinct.values()]
-            batch_size = len(leaders)
-            try:
-                values = self._evaluate_group(
-                    entry, [requests[i] for i in leaders])
-                errors: list[str | None] = [None] * batch_size
-                self.calls += 1
-            except Exception:  # noqa: BLE001 - fall back to isolate the
-                # offending request: re-evaluate the group one item at a
-                # time so only the request that actually fails reports an
-                # error.
-                self.calls += 1  # the failed group call was a real call
-                batch_size = 1  # answers now come from singleton calls
-                values, errors = [], []
-                for i in leaders:
-                    try:
-                        values.append(self._evaluate_one(entry, requests[i]))
-                        errors.append(None)
-                    except Exception as exc:  # noqa: BLE001
-                        values.append(None)
-                        errors.append(str(exc))
+            # Answer what the cache already knows; only the missing item
+            # keys go to the engine as one (smaller) batched call.
+            version = entry.version
+            answers: dict[tuple, tuple[object, str | None, int]] = {}
+            misses: list[tuple] = []
+            if cache is not None:
+                for key in distinct:
+                    hit = cache.lookup(version, key)
+                    if hit is not MISS:
+                        self.cache_hits += 1
+                        answers[key] = (hit, None, 1)
+                    else:
+                        self.cache_misses += 1
+                        misses.append(key)
+            else:
+                misses = list(distinct)
+            if misses:
+                leaders = [distinct[key][0] for key in misses]
+                batch_size = len(leaders)
+                try:
+                    values = self._evaluate_group(
+                        entry, [requests[i] for i in leaders])
+                    errors: list[str | None] = [None] * batch_size
                     self.calls += 1
-            for value, error, fanout in zip(values, errors,
-                                            distinct.values()):
+                except Exception:  # noqa: BLE001 - fall back to isolate the
+                    # offending request: re-evaluate the group one item at
+                    # a time so only the request that actually fails
+                    # reports an error.
+                    self.calls += 1  # the failed group call was a real call
+                    batch_size = 1  # answers now come from singleton calls
+                    values, errors = [], []
+                    for i in leaders:
+                        try:
+                            values.append(
+                                self._evaluate_one(entry, requests[i]))
+                            errors.append(None)
+                        except Exception as exc:  # noqa: BLE001
+                            values.append(None)
+                            errors.append(str(exc))
+                        self.calls += 1
+                for key, value, error in zip(misses, values, errors):
+                    if cache is not None and error is None:
+                        cache.store(version, key, value)
+                    answers[key] = (value, error, batch_size)
+            for key, fanout in distinct.items():
+                value, error, batch_size = answers[key]
                 for j, i in enumerate(fanout):
                     # Duplicates get their own copy of the (mutable)
                     # answer, matching the serial path where every request

@@ -1,0 +1,151 @@
+"""Version-keyed cross-request memoization of query answers.
+
+Repeated serving traffic is highly redundant: dashboards re-ask the same
+ACE sweeps, repair scans for one incident arrive from several operators,
+and drift-aware registries keep a model version stable across thousands of
+requests.  The batcher already deduplicates *within* one drained batch;
+the :class:`ResultCache` extends that across batches — each
+:class:`~repro.service.registry.ModelEntry` owns one, keyed by
+``(model_version, request.item_key())``, so a repeated repair scan or ACE
+sweep against an unchanged model skips propagation entirely.
+
+The safety argument mirrors the batcher's dedup contract: requests with
+equal item keys are interchangeable against one model version (see
+:meth:`repro.service.requests.QueryRequest.item_key`), and the cache never
+returns a value stored under a different version — a refresh bumps the
+entry's version, which both orphans old keys structurally and triggers an
+explicit :meth:`ResultCache.invalidate_older_than` sweep.  The model
+content-hash dimension of the key is carried by cache *placement*: caches
+live per registry entry, and spec-fitted entries are keyed by the spec's
+content hash, so two different models can never share a cache line.
+
+Stored values are defensively copied on both store and lookup (the
+serving layer hands clients mutable payloads), so a client mutating its
+response can never poison the cache or another client's answer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+#: sentinel returned by :meth:`ResultCache.lookup` on a miss — distinct
+#: from ``None``, which is a legal cached value.
+MISS = object()
+
+
+def fresh_value(value: object) -> object:
+    """Independent copy of a JSON-like answer payload.
+
+    Answer values are floats, flat dicts or lists of (nested) dicts;
+    recursing over exactly those shapes is much cheaper than
+    ``copy.deepcopy`` on the hot fan-out path.
+    """
+    if isinstance(value, dict):
+        return {key: fresh_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [fresh_value(item) for item in value]
+    return value
+
+
+class ResultCache:
+    """LRU cache of answered queries, keyed by ``(version, item_key)``.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident answers; the least-recently-used entry is
+        evicted beyond it.
+
+    Notes
+    -----
+    Thread-safe: the serving layer consults the cache from the dispatcher
+    thread while :meth:`invalidate_older_than` runs on refresh threads.
+    All counters are cumulative over the cache's lifetime.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("result cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[tuple, tuple[int, object]]" = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        #: entries dropped because their version fell behind a refresh.
+        self.invalidated = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, version: int, item_key: tuple) -> object:
+        """The cached answer for ``item_key`` at ``version``, or :data:`MISS`.
+
+        A stored answer from an older model version never matches: it is
+        dropped on sight (counted in :attr:`invalidated`) and the lookup
+        reports a miss.  Hits return an independent copy of the payload.
+        """
+        with self._lock:
+            stored = self._entries.get(item_key)
+            if stored is not None and stored[0] == version:
+                self._entries.move_to_end(item_key)
+                self.hits += 1
+                return fresh_value(stored[1])
+            if stored is not None:
+                del self._entries[item_key]
+                self.invalidated += 1
+            self.misses += 1
+            return MISS
+
+    def store(self, version: int, item_key: tuple, value: object) -> None:
+        """Remember ``value`` as the answer to ``item_key`` at ``version``.
+
+        The payload is copied on the way in, so later client mutation of
+        the served object cannot corrupt the cache.
+        """
+        with self._lock:
+            self._entries[item_key] = (int(version), fresh_value(value))
+            self._entries.move_to_end(item_key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate_older_than(self, version: int) -> int:
+        """Drop every entry stored under a version below ``version``.
+
+        Called by the registry right after a refresh bumps the entry
+        version; returns how many answers were dropped.  (Version-checked
+        lookups make this a memory-hygiene sweep rather than a
+        correctness requirement.)
+        """
+        with self._lock:
+            stale = [key for key, (stored_version, _)
+                     in self._entries.items() if stored_version < version]
+            for key in stale:
+                del self._entries[key]
+            self.invalidated += len(stale)
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything; returns how many entries were resident."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidated += dropped
+            return dropped
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup over the cache's lifetime (0.0 before traffic)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """JSON-friendly snapshot of the cache counters."""
+        with self._lock:
+            resident = len(self._entries)
+        return {"capacity": self.capacity, "resident": resident,
+                "hits": self.hits, "misses": self.misses,
+                "invalidated": self.invalidated,
+                "hit_rate": self.hit_rate}

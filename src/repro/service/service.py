@@ -56,6 +56,10 @@ class ServiceStats:
 
     ``coalesced_ratio`` is requests answered per engine call — the
     serving-layer speedup lever (1.0 means no coalescing happened).
+    ``cache_hits`` / ``cache_misses`` count distinct item keys served
+    from (or stored into) the per-entry cross-request
+    :class:`~repro.service.result_cache.ResultCache`; a hit answers
+    without any engine call at all.
     """
 
     submitted: int = 0
@@ -63,6 +67,8 @@ class ServiceStats:
     rejected: int = 0
     dispatches: int = 0
     engine_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
     max_batch_observed: int = 0
     #: futures that could not be resolved (client cancelled them while
     #: queued) and dispatch rounds that raised unexpectedly — both are
@@ -433,6 +439,8 @@ class QueryService:
             self._dispatch_index += 1
             index = self._dispatch_index
             calls_before = self.batcher.calls
+            hits_before = self.batcher.cache_hits
+            misses_before = self.batcher.cache_misses
             try:
                 entry = self.registry.get(subject)
                 responses = self.batcher.dispatch(
@@ -458,6 +466,9 @@ class QueryService:
             self.stats.dispatches += 1
             self.stats.answered += len(responses)
             self.stats.engine_calls += self.batcher.calls - calls_before
+            self.stats.cache_hits += self.batcher.cache_hits - hits_before
+            self.stats.cache_misses += \
+                self.batcher.cache_misses - misses_before
             self.stats.max_batch_observed = max(self.stats.max_batch_observed,
                                                 len(pendings))
             per_subject = self.stats.per_subject

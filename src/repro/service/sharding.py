@@ -19,7 +19,12 @@ batches, and adds the serving policies a multi-process tier needs:
   a pure function of the spec, and refresh decisions are a deterministic
   function of the observation stream; answers therefore match the
   single-process :class:`~repro.service.service.QueryService` over
-  :func:`registry_from_specs` byte for byte, for any shard count.
+  :func:`registry_from_specs` byte for byte, for any shard count.  Each
+  worker's per-entry :class:`~repro.service.result_cache.ResultCache` is
+  scoped to its own replica and keyed by model version (invalidated by
+  the observe-triggered refreshes it replays from the journal after a
+  crash), so cached answers preserve the identity — hit/miss counts ride
+  in :meth:`worker_stats` payloads.
 * **Crash recovery** — a liveness monitor respawns a dead worker, refits
   its subjects, replays the shard's observation journal (so the replica
   reconverges to the exact pre-crash model state, including the drift
@@ -183,8 +188,10 @@ class ShardedQueryService:
         otherwise).  ``False`` runs the identical worker loop on daemon
         threads in this process — the mode single-core test environments
         use; messages still cross the same pickled-queue transport.
-    use_batched, drift_threshold, drift_min_window, refresh_async:
-        Forwarded to each worker's private :class:`ModelRegistry`.
+    use_batched, drift_threshold, drift_min_window, refresh_async,
+    result_cache_size:
+        Forwarded to each worker's private :class:`ModelRegistry`
+        (``result_cache_size=0`` disables cross-request memoization).
     batch_window:
         Seconds the per-shard sender waits after the first pending
         submission for more to arrive before flushing — the cross-client
@@ -214,7 +221,8 @@ class ShardedQueryService:
                  drift_min_window: int = 4, refresh_async: bool = True,
                  batch_window: float = 0.001, max_pending: int = 4096,
                  max_requeues: int = 2,
-                 start_timeout: float = 300.0) -> None:
+                 start_timeout: float = 300.0,
+                 result_cache_size: int | None = 256) -> None:
         if not specs:
             raise ValueError("a sharded service needs at least one subject")
         if shards < 1 or max_pending < 1 or max_requeues < 0:
@@ -232,6 +240,7 @@ class ShardedQueryService:
             "drift_threshold": drift_threshold,
             "drift_min_window": int(drift_min_window),
             "refresh_async": bool(refresh_async),
+            "result_cache_size": result_cache_size,
         }
         self._ctx = (mp.get_context("fork")
                      if "fork" in mp.get_all_start_methods()

@@ -194,6 +194,8 @@ class ShardServer:
                 "dispatches": self.dispatches,
                 "engine_calls": self.batcher.calls,
                 "answered": self.batcher.answered,
+                "cache_hits": self.batcher.cache_hits,
+                "cache_misses": self.batcher.cache_misses,
                 "refreshes": self.registry.refreshes,
                 "refreshes_skipped": self.registry.refreshes_skipped,
                 "drift": drift}

@@ -5,7 +5,11 @@ equivalent to the scalar methods it vectorizes — the scalar path *is* the
 specification.  Hypothesis generates random SCMs (random DAG shapes, random
 mechanism types, random domains), random fitted models and random batches
 (including the N=0 and N=1 edge cases) and holds every batched answer to
-1e-9 of its scalar counterpart.
+1e-9 of its scalar counterpart.  The per-node path is pinned here
+(``fused=False``) because it evaluates each equation in the scalar
+path's exact summation order, so 1e-9 holds for arbitrarily
+ill-conditioned random fits; the reassociated fused default is held to
+its own condition-aware bound in ``test_fused_vs_batched.py``.
 """
 
 from __future__ import annotations
@@ -261,7 +265,7 @@ def fitted_and_interventions(draw):
 @settings(max_examples=25, deadline=None)
 def test_predict_batch_matches_scalar(case):
     scm, model, assignments = case
-    batched = BatchedFittedModel(model)
+    batched = BatchedFittedModel(model, fused=False)
     target = scm.endogenous_variables[-1]
     results = batched.predict_batch(assignments, targets=[target])
     assert len(results) == len(assignments)
@@ -275,7 +279,7 @@ def test_predict_batch_matches_scalar(case):
 def test_interventional_expectation_batch_fitted_matches_scalar(case,
                                                                 max_contexts):
     scm, model, interventions = case
-    batched = BatchedFittedModel(model)
+    batched = BatchedFittedModel(model, fused=False)
     target = scm.endogenous_variables[-1]
     values = batched.interventional_expectation_batch(
         target, interventions, max_contexts=max_contexts)
@@ -290,7 +294,7 @@ def test_interventional_expectation_batch_fitted_matches_scalar(case,
 @settings(max_examples=25, deadline=None)
 def test_counterfactual_batch_fitted_matches_scalar(case):
     scm, model, interventions = case
-    batched = BatchedFittedModel(model)
+    batched = BatchedFittedModel(model, fused=False)
     observation = model.data.row(0)
     outcomes = batched.counterfactual_batch(observation, interventions)
     targets = list(scm.endogenous_variables)
@@ -308,7 +312,7 @@ def test_counterfactual_batch_fitted_matches_scalar(case):
 @settings(max_examples=20, deadline=None)
 def test_counterfactual_rows_batch_matches_scalar(case):
     scm, model, _ = case
-    batched = BatchedFittedModel(model)
+    batched = BatchedFittedModel(model, fused=False)
     option = scm.exogenous_variables[0]
     target = scm.endogenous_variables[-1]
     intervention = {option: scm.domain(option)[-1]}
@@ -325,7 +329,7 @@ def test_counterfactual_rows_batch_matches_scalar(case):
 def test_repair_scoring_batched_matches_scalar_ice(case):
     """Batched candidate scoring reproduces individual_causal_effect."""
     scm, model, _ = case
-    batched = BatchedFittedModel(model)
+    batched = BatchedFittedModel(model, fused=False)
     option = scm.exogenous_variables[0]
     target = scm.endogenous_variables[-1]
     objectives = {target: "minimize"}
@@ -361,7 +365,7 @@ def test_fitted_batch_empty_and_singleton():
     scm = _tiny_scm()
     rows = scm.sample(20, np.random.default_rng(0))
     model = fit_structural_equations(scm.dag, Dataset.from_rows(rows))
-    batched = BatchedFittedModel(model)
+    batched = BatchedFittedModel(model, fused=False)
     target = scm.endogenous_variables[-1]
     option = scm.exogenous_variables[0]
     assert batched.predict_batch([]) == []

@@ -17,6 +17,8 @@ BASELINE = {
     "relearn": {"median_speedup": 9.0, "serial_ms": 400.0},
     "service": {"speedup": 4.5, "coalesced_ratio": 35.0,
                 "throughput_qps": 6000.0},
+    "fused": {"speedup": 2.5, "fused_ms": 4.0},
+    "cache": {"cache_hit_rate": 0.5, "repeat_pass_ms": 2.0},
     "identity": {"identical": True},
 }
 
@@ -25,7 +27,9 @@ def test_tracked_metrics_selects_relative_keys_only():
     metrics = checker.tracked_metrics(BASELINE)
     assert metrics == {"relearn.median_speedup": 9.0,
                        "service.speedup": 4.5,
-                       "service.coalesced_ratio": 35.0}
+                       "service.coalesced_ratio": 35.0,
+                       "fused.speedup": 2.5,
+                       "cache.cache_hit_rate": 0.5}
 
 
 def test_within_tolerance_passes():

@@ -1,0 +1,243 @@
+"""Tests of cross-request result memoization and its version safety.
+
+Unit tests of :class:`repro.service.result_cache.ResultCache` itself
+(LRU, version checks, defensive copies, counters), plus the serving-layer
+contracts: answers are byte-identical with the cache on or off over a
+long-horizon drifting workload, cached entries never survive an
+``observe()``-triggered refresh, and a sharded worker's replayed journal
+reconverges the replica (cache included) after a crash.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    EffectRequest,
+    ModelRegistry,
+    PredictRequest,
+    QueryService,
+    RequestBatcher,
+    ResultCache,
+    ShardedQueryService,
+    canonical_answers,
+    fresh_value,
+    long_horizon_workload,
+    mixed_workload,
+    registry_from_specs,
+    serve_rounds,
+)
+from repro.service.result_cache import MISS
+from repro.systems.base import Measurement
+from repro.systems.cache_example import make_cache_example
+
+SPEC = {"system": "cache_example", "n_samples": 40,
+        "max_condition_size": 2, "seed": 0}
+
+
+def _shift(measurements, scale):
+    """Scale every objective of a measurement batch (a regime change)."""
+    return [Measurement(configuration=m.configuration, events=m.events,
+                        objectives={k: v * scale
+                                    for k, v in m.objectives.items()},
+                        environment=m.environment)
+            for m in measurements]
+
+
+# ---------------------------------------------------------------------------
+# ResultCache unit behavior
+# ---------------------------------------------------------------------------
+def test_cache_store_lookup_and_counters():
+    cache = ResultCache(capacity=4)
+    assert cache.lookup(1, ("k",)) is MISS
+    cache.store(1, ("k",), {"x": 1.0})
+    hit = cache.lookup(1, ("k",))
+    assert hit == {"x": 1.0}
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.hit_rate == 0.5
+    stats = cache.stats()
+    assert stats["resident"] == 1 and stats["capacity"] == 4
+
+
+def test_cache_version_mismatch_drops_entry():
+    cache = ResultCache(capacity=4)
+    cache.store(1, ("k",), 3.5)
+    assert cache.lookup(2, ("k",)) is MISS
+    assert cache.invalidated == 1
+    assert len(cache) == 0  # dropped on sight, not just skipped
+
+
+def test_cache_invalidate_older_than_sweeps():
+    cache = ResultCache(capacity=8)
+    cache.store(1, ("a",), 1.0)
+    cache.store(1, ("b",), 2.0)
+    cache.store(3, ("c",), 3.0)
+    assert cache.invalidate_older_than(3) == 2
+    assert cache.lookup(3, ("c",)) == 3.0
+    assert cache.clear() == 1
+
+
+def test_cache_lru_eviction_order():
+    cache = ResultCache(capacity=2)
+    cache.store(1, ("a",), 1.0)
+    cache.store(1, ("b",), 2.0)
+    assert cache.lookup(1, ("a",)) == 1.0  # refresh "a"
+    cache.store(1, ("c",), 3.0)            # evicts "b", the LRU entry
+    assert cache.lookup(1, ("b",)) is MISS
+    assert cache.lookup(1, ("a",)) == 1.0
+
+
+def test_cache_defensive_copies_both_ways():
+    cache = ResultCache(capacity=2)
+    stored = {"changes": [{"x": 1.0}]}
+    cache.store(1, ("k",), stored)
+    stored["changes"][0]["x"] = 99.0       # client mutates after store
+    served = cache.lookup(1, ("k",))
+    assert served == {"changes": [{"x": 1.0}]}
+    served["changes"][0]["x"] = -1.0       # client mutates the answer
+    assert cache.lookup(1, ("k",)) == {"changes": [{"x": 1.0}]}
+
+
+def test_cache_rejects_nonpositive_capacity_and_fresh_value_scalars():
+    with pytest.raises(ValueError):
+        ResultCache(capacity=0)
+    assert fresh_value(2.5) == 2.5
+    nested = [{"a": [1.0, {"b": 2.0}]}]
+    copy = fresh_value(nested)
+    assert copy == nested and copy is not nested
+    assert copy[0]["a"][1] is not nested[0]["a"][1]
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer integration
+# ---------------------------------------------------------------------------
+def test_batcher_serves_repeats_from_cache():
+    registry = ModelRegistry(capacity=1, result_cache_size=64)
+    entry = registry.get_or_fit(SPEC)
+    batcher = RequestBatcher()
+    request = EffectRequest.of(entry.key, "Throughput", {"CachePolicy": 0.0})
+    first = batcher.dispatch(entry, [request])[0]
+    calls = batcher.calls
+    second = batcher.dispatch(entry, [request])[0]
+    assert batcher.calls == calls          # no engine call on the hit
+    assert batcher.cache_hits == 1
+    assert second.value == first.value
+    assert second.model_version == first.model_version
+
+
+def test_observe_refresh_invalidates_cached_answers():
+    registry = ModelRegistry(capacity=1, result_cache_size=64)
+    entry = registry.get_or_fit(SPEC)
+    batcher = RequestBatcher()
+    request = EffectRequest.of(entry.key, "Throughput", {"CachePolicy": 0.0})
+    before = batcher.dispatch(entry, [request])[0]
+    assert len(entry.result_cache) > 0
+    system = make_cache_example()
+    rng = np.random.default_rng(5)
+    fresh = system.measure_many(system.space.sample_configurations(6, rng),
+                                rng=rng)
+    version = registry.observe(entry.key, _shift(fresh, 1.8))
+    assert version > before.model_version
+    assert len(entry.result_cache) == 0    # swept by the refresh
+    after = batcher.dispatch(entry, [request])[0]
+    assert after.model_version == version  # a fresh-model answer, not a replay
+    assert batcher.cache_misses >= 2
+
+
+def test_cache_disabled_registry_has_no_entry_cache():
+    registry = ModelRegistry(capacity=1, result_cache_size=0)
+    entry = registry.get_or_fit(SPEC)
+    assert entry.result_cache is None
+    batcher = RequestBatcher()
+    request = PredictRequest.of(entry.key, {"CachePolicy": 0.0},
+                                ["Throughput"])
+    batcher.dispatch(entry, [request, request])
+    assert batcher.cache_hits == 0 and batcher.cache_misses == 0
+
+
+def test_long_horizon_answers_identical_cache_on_vs_off():
+    """The memoization acceptance gate: byte-identical serving histories.
+
+    The same long-horizon workload — query rounds interleaved with
+    observation batches that include genuine regime shifts and hence
+    drift refreshes — is served twice, with cross-request memoization on
+    and off.  Every answer must agree byte for byte (compared through
+    canonical JSON), and the cached run must actually have used the
+    cache.
+    """
+    specs = {"cache-a": dict(SPEC), "cache-b": {**SPEC, "seed": 1}}
+    reference = registry_from_specs(specs)
+    system = make_cache_example()
+    engines = {s: reference.get(s).engine for s in specs}
+    rounds = long_horizon_workload(
+        engines, {s: system for s in specs}, n_rounds=3,
+        queries_per_round=24, observations_per_round=6, seed=11,
+        drift_rounds=(1,), drift_scale=1.7,
+        observation_batches_per_round=2, max_repairs=16)
+    drift = dict(drift_threshold=6.0, drift_min_window=6)
+    histories = {}
+    stats = {}
+    for cache_size in (256, 0):
+        registry = registry_from_specs(specs, result_cache_size=cache_size,
+                                       **drift)
+        with QueryService(registry, batch_window=0.001) as service:
+            responses, _ = serve_rounds(service, rounds, n_clients=8)
+            histories[cache_size] = canonical_answers(responses)
+            stats[cache_size] = service.stats
+    assert histories[256] == histories[0]
+    assert stats[256].cache_hits > 0       # the cached run really cached
+    assert stats[0].cache_hits == 0
+    # Refreshes happened on both sides — the identity was not vacuous.
+    assert stats[256].cache_misses > 0
+
+
+def test_sharded_crash_replay_preserves_cache_identity():
+    """Cache-held answers survive neither a refresh nor a worker crash.
+
+    After a drift refresh and an injected worker crash, the respawned
+    replica replays its journal; answers to a query cached before the
+    crash must match the refreshed (post-drift) model, never a stale
+    cache line.
+    """
+    specs = {"cache-a": dict(SPEC)}
+    system = make_cache_example()
+    rng = np.random.default_rng(3)
+    fresh = system.measure_many(system.space.sample_configurations(6, rng),
+                                rng=rng)
+    request = EffectRequest.of("cache-a", "Throughput", {"CachePolicy": 0.0})
+    with ShardedQueryService(specs, shards=1, use_processes=False,
+                             drift_threshold=6.0, drift_min_window=4,
+                             result_cache_size=64) as service:
+        before = service.submit(request)
+        service.observe("cache-a", fresh)
+        service.observe("cache-a", _shift(fresh, 1.8))
+        service.quiesce()
+        refreshed = service.submit(request)   # cached at the new version
+        assert refreshed.model_version > before.model_version
+        service._inject_crash(0)
+        answers = [service.submit_async(request).result(timeout=60)
+                   for _ in range(3)]
+        assert all(a.ok for a in answers)
+        assert all(a.value == refreshed.value for a in answers)
+        assert all(a.model_version == refreshed.model_version
+                   for a in answers)
+        worker_stats = service.worker_stats()
+        assert worker_stats[0]["cache_misses"] >= 1
+
+
+def test_service_stats_expose_cache_counters():
+    registry = ModelRegistry(capacity=1, result_cache_size=64)
+    entry = registry.get_or_fit(SPEC)
+    system = make_cache_example()
+    requests = mixed_workload(entry.key, entry.engine, system.objectives,
+                              24, seed=2, max_repairs=16)
+    with QueryService(registry, batch_window=0.001) as service:
+        for request in requests:           # serial resubmission repeats keys
+            service.submit(request)
+        repeat = [service.submit(r) for r in requests[:6]]
+    assert all(r.ok for r in repeat)
+    stats = service.stats
+    assert stats.cache_hits > 0
+    assert stats.cache_misses > 0
+    assert stats.cache_hits + stats.cache_misses >= len(requests)
