@@ -33,9 +33,11 @@ from pathlib import Path
 
 #: Relative (runner-independent) metric keys, all higher-is-better.
 #: ``cache_hit_rate`` is a workload-determined fraction, not a timing, so
-#: it transfers between runners like the speedup ratios do.
+#: it transfers between runners like the speedup ratios do;
+#: ``cold_start_speedup`` / ``recovery_speedup`` divide the refit+replay
+#: restart path by the snapshot-restore path taken on the same runner.
 TRACKED_KEYS = ("speedup", "median_speedup", "coalesced_ratio",
-                "cache_hit_rate")
+                "cache_hit_rate", "cold_start_speedup", "recovery_speedup")
 DEFAULT_TOLERANCE = 0.20
 
 

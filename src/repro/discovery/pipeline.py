@@ -82,6 +82,82 @@ class LearnedModel:
     def average_degree(self) -> float:
         return self.graph.average_degree()
 
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of the model and its warm-start machinery.
+
+        Everything a deserialised model needs to keep taking the
+        incremental :meth:`CausalModelLearner.update` fast path is
+        captured: graph and PAG (via :meth:`MixedGraph.to_dict`), the
+        dataset (bitwise, via its base64 codec), the skeleton warm-start
+        state and the CI-decision trace.  Structural constraints are *not*
+        embedded — they are a pure function of the subject spec and the
+        loader passes them back to :meth:`from_dict`.
+        """
+        skeleton = None
+        if self.skeleton_state is not None:
+            skeleton = {
+                "edges": sorted(sorted(pair)
+                                for pair in self.skeleton_state.edges),
+                "separating_sets": [
+                    [sorted(pair), sorted(members)]
+                    for pair, members in sorted(
+                        self.skeleton_state.separating_sets.items(),
+                        key=lambda item: sorted(item[0]))],
+            }
+        trace = None
+        if self.decision_trace is not None:
+            trace = [[d.x, d.y, list(d.conditioning), bool(d.independent)]
+                     for d in self.decision_trace]
+        return {
+            "graph": self.graph.to_dict(),
+            "pag": self.pag.to_dict(),
+            "data": self.data.to_dict(),
+            "ci_tests_performed": int(self.ci_tests_performed),
+            "history": [dict(h) for h in self.history],
+            "skeleton_state": skeleton,
+            "decision_trace": trace,
+            "incremental": bool(self.incremental),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict,
+                  constraints: StructuralConstraints) -> "LearnedModel":
+        """Rebuild the model snapshotted by :meth:`to_dict`.
+
+        Parameters
+        ----------
+        payload:
+            The :meth:`to_dict` document.
+        constraints:
+            The structural constraints of the owning subject (derived from
+            its spec — see :class:`repro.core.unicorn.Unicorn`).
+        """
+        skeleton = None
+        if payload.get("skeleton_state") is not None:
+            doc = payload["skeleton_state"]
+            skeleton = SkeletonState(
+                edges={frozenset(pair) for pair in doc["edges"]},
+                separating_sets={frozenset(pair): set(members)
+                                 for pair, members
+                                 in doc["separating_sets"]})
+        trace = None
+        if payload.get("decision_trace") is not None:
+            trace = [CIDecision(x=x, y=y, conditioning=tuple(conditioning),
+                                independent=bool(independent))
+                     for x, y, conditioning, independent
+                     in payload["decision_trace"]]
+        return cls(
+            graph=MixedGraph.from_dict(payload["graph"]),
+            pag=MixedGraph.from_dict(payload["pag"]),
+            constraints=constraints,
+            data=Dataset.from_dict(payload["data"]),
+            ci_tests_performed=int(payload.get("ci_tests_performed", 0)),
+            history=[dict(h) for h in payload.get("history", [])],
+            skeleton_state=skeleton,
+            decision_trace=trace,
+            incremental=bool(payload.get("incremental", False)))
+
 
 @dataclass
 class _LearnerSession:

@@ -65,6 +65,7 @@ from repro.evaluation.scalability import (
     scalability_campaign_cells,
 )
 from repro.evaluation.service_campaign import (
+    run_cold_start_recovery,
     run_service_campaign,
     run_service_throughput,
     run_sharded_service_throughput,
@@ -109,6 +110,7 @@ __all__ = [
     "run_scalability_scenario",
     "scalability_campaign_cells",
     "run_scalability_campaign",
+    "run_cold_start_recovery",
     "run_service_throughput",
     "run_sharded_service_throughput",
     "service_campaign_cells",

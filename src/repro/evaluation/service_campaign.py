@@ -17,6 +17,13 @@ trees, resumable artifacts) the paper experiments use.  Two cell kinds:
   reporting the sharded tier's speedup over the eager baseline, the
   relearn counts of each side, and whether the sharded answers stayed
   byte-identical to the same-knob single-process run.
+* ``cold_start_recovery`` — the durability story: a long-horizon workload
+  primes a persistent :class:`~repro.service.store.ModelStore`, then
+  worker **cold start** (a fresh service generation over the populated
+  store vs refit-from-spec plus full-history replay) and **crash
+  recovery** (snapshot restore plus journal-*suffix* replay vs refit plus
+  full-journal replay) are timed head to head, with byte-identity of
+  every recovered tier's answers against a single-process reference.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.systems.registry import get_system
 
 SERVICE_CELL = "service_throughput"
 SHARDED_SERVICE_CELL = "sharded_service_throughput"
+COLD_START_CELL = "cold_start_recovery"
 
 
 def run_service_throughput(system_name: str, hardware: str | None = None,
@@ -254,6 +262,218 @@ def run_sharded_service_throughput(system_name: str,
     }
 
 
+def run_cold_start_recovery(system_name: str, hardware: str | None = None,
+                            n_subjects: int = 4, shards: int = 2,
+                            n_clients: int = 32, n_rounds: int = 6,
+                            queries_per_round: int = 64,
+                            observations_per_round: int = 8,
+                            observation_batches_per_round: int = 1,
+                            n_samples: int = 50, seed: int = 0,
+                            snapshot_every: int = 4,
+                            probe_queries: int = 40,
+                            use_processes: bool = True,
+                            store_root: str | None = None,
+                            batch_window: float = 0.002) -> dict:
+    """Measure what the persistent model store buys at restart time.
+
+    A long-horizon workload (``n_rounds`` rounds of ``n_clients``
+    concurrent query batches interleaved with per-subject observation
+    streams, eager refresh semantics) primes a
+    :class:`~repro.service.store.ModelStore`; then two restart scenarios
+    are timed head to head:
+
+    * **cold start** — standing up a fresh service generation that must
+      reach the primed model state: with the store it loads the latest
+      snapshots (no CI tests, no least-squares, no replay); the baseline
+      refits every subject from its spec and replays the *entire*
+      observation history, paying one incremental relearn per replayed
+      batch;
+    * **crash recovery** — a worker is killed under a primed service and
+      the time to the next answered probe query is measured: with the
+      store the respawn restores snapshots and replays only the journal
+      *suffix* past each subject's snapshot watermark (the parent
+      compacted the rest); the baseline refits and replays its full
+      journal.
+
+    Every recovered tier must answer a converged-state probe workload
+    byte-identically to a single-process reference registry that folded
+    the same history — restarts may never change an answer.
+
+    Parameters
+    ----------
+    system_name, hardware:
+        Subject system; each of the ``n_subjects`` models gets its own
+        seed-tree-derived fit seed.
+    n_subjects, shards, n_clients, n_rounds, queries_per_round,
+    observations_per_round, observation_batches_per_round, n_samples:
+        Workload and deployment shape (the priming phase).
+    seed:
+        Root seed of the workload/fit seed tree.
+    snapshot_every:
+        Durable-snapshot cadence in eager mode: publish every N-th
+        observe fold (the journal covers the gap, so recovery replays at
+        most ~N ops per subject).
+    probe_queries:
+        Size of the converged-state probe workload used for the
+        byte-identity checks and the recovery timing.
+    use_processes:
+        Worker processes (``True``) or in-process worker threads.
+    store_root:
+        Directory for the store; a temporary directory when ``None``.
+    batch_window:
+        Dispatcher coalescing window of the sharded tiers.
+
+    Returns
+    -------
+    dict
+        JSON-serializable cell result: priming/cold-start/recovery
+        seconds per side, ``cold_start_speedup`` and
+        ``recovery_speedup`` (baseline over store), journal lengths
+        (bounded with the store, full without), store counters and
+        ``identical``.
+    """
+    import tempfile
+    import shutil
+
+    from repro.service.batcher import RequestBatcher
+    from repro.service.sharding import (ShardedQueryService,
+                                        registry_from_specs, shard_of)
+    from repro.service.workload import (_derived_seed, canonical_answers,
+                                        long_horizon_workload, mixed_workload,
+                                        serve_rounds)
+
+    specs = {
+        f"{system_name}-{i}": {
+            "system": system_name, "hardware": hardware,
+            "n_samples": int(n_samples), "seed": _derived_seed(seed, 5, i),
+        }
+        for i in range(int(n_subjects))
+    }
+    systems = {subject: get_system(system_name, hardware=hardware)
+               for subject in specs}
+
+    # Reference: one single-process registry folds the same history the
+    # services will see; its serial answers define the converged state
+    # every restarted tier must reproduce byte for byte.
+    reference = registry_from_specs(specs)
+    engines = {subject: reference.get(subject).engine for subject in specs}
+    rounds = long_horizon_workload(
+        engines, systems, n_rounds=int(n_rounds),
+        queries_per_round=int(queries_per_round),
+        observations_per_round=int(observations_per_round), seed=seed,
+        observation_batches_per_round=int(observation_batches_per_round))
+    n_queries = sum(len(r["queries"]) for r in rounds)
+    observation_ops = 0
+    for round_spec in rounds:
+        for subject, batches in round_spec["observations"].items():
+            for batch in batches:
+                reference.observe(subject, batch)
+                observation_ops += 1
+    probes = []
+    for position, subject in enumerate(sorted(specs)):
+        probes.extend(mixed_workload(
+            subject, reference.get(subject).engine,
+            systems[subject].objectives,
+            max(int(probe_queries) // len(specs), 1),
+            seed=_derived_seed(seed, 7, position)))
+    serial = []
+    for subject in sorted(specs):
+        serial.extend(RequestBatcher().serial_dispatch(
+            reference.get(subject),
+            [p for p in probes if p.subject == subject]))
+    reference_answers = canonical_answers(serial)
+    # Crash the shard of the alphabetically first subject (every shard
+    # with at least one subject behaves identically).
+    crash_subject = sorted(specs)[0]
+    crash_shard = shard_of(crash_subject, int(shards))
+
+    store_dir = store_root or tempfile.mkdtemp(prefix="model-store-")
+    service_options = dict(shards=int(shards),
+                           use_processes=bool(use_processes),
+                           batch_window=float(batch_window))
+    identical = True
+    try:
+        # ---- priming + crash recovery WITH the store -------------------
+        with ShardedQueryService(specs, store_path=store_dir,
+                                 snapshot_every=int(snapshot_every),
+                                 **service_options) as primed:
+            _, prime_seconds = serve_rounds(primed, rounds, int(n_clients))
+            journal_len_store = max(len(s.journal)
+                                    for s in primed._shards)
+            compacted_ops = primed.stats.journal_ops_compacted
+            primed._inject_crash(crash_shard)
+            started = time.perf_counter()
+            probe = next(p for p in probes if p.subject == crash_subject)
+            primed.submit(probe, timeout=600.0)
+            recovery_store_seconds = time.perf_counter() - started
+            recovered = primed.submit_many(probes, timeout=600.0)
+            identical &= canonical_answers(recovered) == reference_answers
+
+        # ---- cold start WITH the store ---------------------------------
+        started = time.perf_counter()
+        with ShardedQueryService(specs, store_path=store_dir,
+                                 snapshot_every=int(snapshot_every),
+                                 **service_options) as restarted:
+            cold_store_seconds = time.perf_counter() - started
+            answers = restarted.submit_many(probes, timeout=600.0)
+            identical &= canonical_answers(answers) == reference_answers
+            restarted_stats = restarted.worker_stats()
+
+        # ---- baseline: refit from specs + full-history replay ----------
+        started = time.perf_counter()
+        with ShardedQueryService(specs, store_path=None,
+                                 **service_options) as baseline:
+            for round_spec in rounds:
+                acks = []
+                for subject, batches in round_spec["observations"].items():
+                    for batch in batches:
+                        acks.append(baseline.observe(subject, batch,
+                                                     block=False))
+                baseline.quiesce()
+                for ack in acks:
+                    ack.result(timeout=600.0)
+            cold_baseline_seconds = time.perf_counter() - started
+            journal_len_baseline = max(len(s.journal)
+                                       for s in baseline._shards)
+            answers = baseline.submit_many(probes, timeout=600.0)
+            identical &= canonical_answers(answers) == reference_answers
+            baseline._inject_crash(crash_shard)
+            started = time.perf_counter()
+            probe = next(p for p in probes if p.subject == crash_subject)
+            baseline.submit(probe, timeout=600.0)
+            recovery_baseline_seconds = time.perf_counter() - started
+            recovered = baseline.submit_many(probes, timeout=600.0)
+            identical &= canonical_answers(recovered) == reference_answers
+    finally:
+        if store_root is None:
+            shutil.rmtree(store_dir, ignore_errors=True)
+
+    return {
+        "system": system_name,
+        "n_subjects": int(n_subjects),
+        "shards": int(shards),
+        "n_clients": int(n_clients),
+        "n_rounds": int(n_rounds),
+        "n_queries": n_queries,
+        "n_observation_ops": observation_ops,
+        "snapshot_every": int(snapshot_every),
+        "prime_seconds": prime_seconds,
+        "cold_store_seconds": cold_store_seconds,
+        "cold_baseline_seconds": cold_baseline_seconds,
+        "cold_start_speedup": cold_baseline_seconds
+        / max(cold_store_seconds, 1e-9),
+        "recovery_store_seconds": recovery_store_seconds,
+        "recovery_baseline_seconds": recovery_baseline_seconds,
+        "recovery_speedup": recovery_baseline_seconds
+        / max(recovery_store_seconds, 1e-9),
+        "journal_len_store": journal_len_store,
+        "journal_len_baseline": journal_len_baseline,
+        "journal_ops_compacted": compacted_ops,
+        "store_loads": sum(w["store_loads"] for w in restarted_stats),
+        "identical": identical,
+    }
+
+
 @register_cell_kind(SERVICE_CELL)
 def _service_cell(spec: Mapping, seed: int) -> dict:
     """One campaign cell: one service-throughput measurement."""
@@ -289,10 +509,33 @@ def _sharded_service_cell(spec: Mapping, seed: int) -> dict:
         batch_window=float(spec.get("batch_window", 0.002)))
 
 
+@register_cell_kind(COLD_START_CELL)
+def _cold_start_cell(spec: Mapping, seed: int) -> dict:
+    """One campaign cell: one cold-start/crash-recovery measurement."""
+    return run_cold_start_recovery(
+        spec["system"], spec.get("hardware"),
+        n_subjects=int(spec.get("n_subjects", 4)),
+        shards=int(spec.get("shards", 2)),
+        n_clients=int(spec.get("n_clients", 32)),
+        n_rounds=int(spec.get("n_rounds", 6)),
+        queries_per_round=int(spec.get("queries_per_round", 64)),
+        observations_per_round=int(spec.get("observations_per_round", 8)),
+        observation_batches_per_round=int(
+            spec.get("observation_batches_per_round", 1)),
+        n_samples=int(spec.get("n_samples", 50)),
+        seed=seed,
+        snapshot_every=int(spec.get("snapshot_every", 4)),
+        probe_queries=int(spec.get("probe_queries", 40)),
+        use_processes=bool(spec.get("use_processes", True)),
+        store_root=spec.get("store_root"),
+        batch_window=float(spec.get("batch_window", 0.002)))
+
+
 def service_campaign_cells(scenarios: Sequence[Mapping]) -> list[CampaignCell]:
     """One cell per serving scenario (dicts of
     :func:`run_service_throughput` kwargs — or, with ``"shards"`` in the
-    scenario, of :func:`run_sharded_service_throughput` kwargs;
+    scenario, of :func:`run_sharded_service_throughput` kwargs, or, with
+    ``"cold_start": True``, of :func:`run_cold_start_recovery` kwargs;
     ``system`` is mandatory).
 
     Raises
@@ -305,7 +548,12 @@ def service_campaign_cells(scenarios: Sequence[Mapping]) -> list[CampaignCell]:
         spec = dict(scenario)
         if "system" not in spec:
             raise ValueError(f"service scenario needs 'system': {spec}")
-        kind = SHARDED_SERVICE_CELL if "shards" in spec else SERVICE_CELL
+        if spec.pop("cold_start", False):
+            kind = COLD_START_CELL
+        elif "shards" in spec:
+            kind = SHARDED_SERVICE_CELL
+        else:
+            kind = SERVICE_CELL
         cells.append(CampaignCell(kind=kind, spec=spec))
     return cells
 

@@ -63,13 +63,24 @@ class CausalInferenceEngine:
     top_k_paths:
         Number of top-ranked causal paths retained per objective (the paper
         uses K between 3 and 25).
+    prefitted:
+        Pre-fitted structural equations to adopt instead of refitting from
+        ``(learned.graph, learned.data)`` — the persistent model store's
+        load path passes the deserialised
+        :class:`~repro.scm.fitting.FittedPerformanceModel` here so a
+        snapshot reload performs no least-squares work at all.  Because
+        :func:`~repro.scm.fitting.fit_structural_equations` is
+        deterministic and the store's codec is bitwise, an adopted model
+        answers byte-identically to a fresh fit.  Later :meth:`refresh`
+        calls refit as usual (the data grew).
     """
 
     def __init__(self, learned: LearnedModel,
                  domains: Mapping[str, Sequence[float]],
                  top_k_paths: int = 5, max_contexts: int = 60,
                  max_ranking_age: int = 5, batched: bool = True,
-                 fused: bool = True) -> None:
+                 fused: bool = True,
+                 prefitted: FittedPerformanceModel | None = None) -> None:
         self._learned = learned
         self._domains = {k: tuple(float(x) for x in v)
                          for k, v in domains.items()}
@@ -79,8 +90,9 @@ class CausalInferenceEngine:
         #: re-extracted even when no touching edge changed (Path_ACE scores
         #: drift as the structural equations are refit on growing data).
         self._max_ranking_age = max_ranking_age
-        self._fitted: FittedPerformanceModel = fit_structural_equations(
-            learned.graph, learned.data)
+        self._fitted: FittedPerformanceModel = (
+            prefitted if prefitted is not None
+            else fit_structural_equations(learned.graph, learned.data))
         #: route interventional / counterfactual queries through the batched
         #: evaluator; ``batched=False`` keeps everything on the scalar
         #: reference path (the differential-testing oracle).

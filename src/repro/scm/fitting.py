@@ -92,6 +92,38 @@ class FittedEquation:
         return {name: float(c)
                 for name, c in zip(self.feature_names, self.coefficients)}
 
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot; coefficients are bitwise (base64 codec).
+
+        The intercept and residual noise scale ride as plain JSON floats —
+        Python's JSON round-trips floats exactly (shortest-repr), so the
+        whole equation reloads byte-identically.
+        """
+        from repro.stats.codec import array_to_doc
+
+        return {
+            "variable": self.variable,
+            "parents": list(self.parents),
+            "feature_names": list(self.feature_names),
+            "coefficients": array_to_doc(np.asarray(self.coefficients,
+                                                    dtype=float)),
+            "intercept": float(self.intercept),
+            "residual_std": float(self.residual_std),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FittedEquation":
+        """Rebuild the equation snapshotted by :meth:`to_dict`, bitwise."""
+        from repro.stats.codec import array_from_doc
+
+        return cls(variable=payload["variable"],
+                   parents=tuple(payload["parents"]),
+                   feature_names=tuple(payload["feature_names"]),
+                   coefficients=array_from_doc(payload["coefficients"]),
+                   intercept=float(payload["intercept"]),
+                   residual_std=float(payload["residual_std"]))
+
 
 def _polynomial_features(matrix: np.ndarray, names: Sequence[str]
                          ) -> tuple[np.ndarray, list[str]]:
@@ -269,6 +301,45 @@ class FittedPerformanceModel:
                     values[variable] = (equation.predict(values)
                                         + residuals.get(variable, 0.0))
         return values
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of the DAG and every fitted equation.
+
+        The observational data is *not* embedded: the model store persists
+        it once per snapshot (it is shared with the learned model) and
+        passes it back to :meth:`from_dict`.  The DAG's node list is
+        emitted in insertion order — topological ordering breaks ties by
+        that order, so preserving it keeps propagation (and therefore
+        every prediction) byte-identical after a reload.
+        """
+        return {
+            "nodes": self._dag.nodes,
+            "edges": [[cause, effect]
+                      for cause, effect in sorted(self._dag.edges())],
+            "equations": [self._equations[v].to_dict()
+                          for v in sorted(self._equations)],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict,
+                  data: Dataset) -> "FittedPerformanceModel":
+        """Rebuild the model snapshotted by :meth:`to_dict` over ``data``.
+
+        Parameters
+        ----------
+        payload:
+            The :meth:`to_dict` document.
+        data:
+            The observational data the equations were fitted on (kept for
+            interventional context marginalisation), reloaded separately.
+        """
+        dag = CausalDAG(payload["nodes"],
+                        [(cause, effect)
+                         for cause, effect in payload["edges"]])
+        equations = {doc["variable"]: FittedEquation.from_dict(doc)
+                     for doc in payload["equations"]}
+        return cls(dag, equations, data)
 
     # ------------------------------------------------------------- reporting
     def all_terms(self) -> dict[str, float]:

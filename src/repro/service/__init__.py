@@ -22,6 +22,12 @@ caller; this package fronts the same engines for many concurrent clients:
 * :mod:`repro.service.drift` — :class:`DriftDetector`: residual-shift
   detection over live observation streams, the trigger of drift-aware
   model refresh.
+* :mod:`repro.service.store` — :class:`ModelStore`: persistent,
+  content-addressed, versioned snapshots of fitted models (atomic
+  publish, instant rollback, fail-closed loads); registries load on
+  miss and publish at refresh boundaries, and the sharded tier uses
+  the snapshots' op-id watermarks to compact its crash-replay journal
+  down to a suffix.
 * :mod:`repro.service.sharding` / :mod:`repro.service.worker` —
   :class:`ShardedQueryService`: subjects hash-partitioned across worker
   processes (each its own registry + batcher over a spawn-safe IPC
@@ -50,6 +56,12 @@ from repro.service.sharding import (
     shard_of,
 )
 from repro.service.result_cache import ResultCache, fresh_value
+from repro.service.store import (
+    ModelStore,
+    canonical_spec,
+    spec_key,
+    subject_key,
+)
 from repro.service.requests import (
     AceRequest,
     EffectRequest,
@@ -84,6 +96,7 @@ __all__ = [
     "EffectRequest",
     "ModelEntry",
     "ModelRegistry",
+    "ModelStore",
     "PredictRequest",
     "QueryRequest",
     "QueryResponse",
@@ -107,7 +120,10 @@ __all__ = [
     "serve_concurrently",
     "serve_rounds",
     "shard_of",
+    "spec_key",
+    "subject_key",
     "unicorn_from_spec",
     "canonical_answers",
+    "canonical_spec",
     "fresh_value",
 ]

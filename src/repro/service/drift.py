@@ -222,3 +222,59 @@ class DriftDetector:
                 "window_size": self.window_size,
                 "baseline_n": self._baseline_n,
                 "last_score": float(self.last_score)}
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """Durable snapshot of the detector's decision state (bitwise).
+
+        The baseline moments are what future drift scores are computed
+        against, so they are captured via the lossless array codec.  The
+        model store snapshots entries at refresh boundaries — right after
+        :meth:`rebaseline`, when the live window is empty — so the window
+        normally serializes as ``None``; a non-empty window is captured as
+        its residual rows and rebuilt on load.
+        """
+        from repro.stats.codec import array_to_doc
+
+        window = None
+        if self._window_data is not None and self._window_data.n_rows:
+            window = array_to_doc(self._window_data.values)
+        return {
+            "objectives": list(self.objectives),
+            "threshold": self.threshold,
+            "min_window": self.min_window,
+            "max_window": self.max_window,
+            "baseline_mean": (None if self._baseline_mean is None
+                              else array_to_doc(self._baseline_mean)),
+            "baseline_var": (None if self._baseline_var is None
+                             else array_to_doc(self._baseline_var)),
+            "baseline_n": int(self._baseline_n),
+            "window": window,
+            "last_score": float(self.last_score),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DriftDetector":
+        """Rebuild the detector snapshotted by :meth:`to_dict`.
+
+        The refresh schedule downstream of the reload is byte-identical to
+        the schedule a continuously running detector would have produced,
+        because scoring is pure floating-point arithmetic over the
+        restored baseline and the (normally empty) restored window.
+        """
+        from repro.stats.codec import array_from_doc
+
+        detector = cls(payload["objectives"],
+                       threshold=float(payload["threshold"]),
+                       min_window=int(payload["min_window"]),
+                       max_window=int(payload["max_window"]))
+        if payload.get("baseline_mean") is not None:
+            detector._baseline_mean = array_from_doc(payload["baseline_mean"])
+            detector._baseline_var = array_from_doc(payload["baseline_var"])
+            detector._baseline_n = int(payload["baseline_n"])
+        if payload.get("window") is not None:
+            detector._window_data = Dataset(detector.objectives,
+                                            array_from_doc(payload["window"]))
+            detector._window = SufficientStats(detector._window_data)
+        detector.last_score = float(payload.get("last_score", 0.0))
+        return detector

@@ -38,10 +38,19 @@ from collections import OrderedDict
 from typing import Mapping, Sequence
 
 from repro.core.unicorn import LoopState, Unicorn, UnicornConfig
-from repro.evaluation.store import content_hash
+from repro.discovery.pipeline import LearnedModel
 from repro.inference.engine import CausalInferenceEngine
+from repro.scm.fitting import FittedPerformanceModel
 from repro.service.drift import DriftDetector
 from repro.service.result_cache import ResultCache
+from repro.service.store import (
+    ModelStore,
+    canonical_spec,
+    measurements_from_document,
+    snapshot_document,
+    spec_key,
+    subject_key,
+)
 from repro.systems.base import Measurement
 from repro.systems.registry import get_system
 
@@ -130,6 +139,24 @@ class ModelEntry:
         #: cross-request answer memo, installed by the owning registry
         #: (``None`` when result caching is disabled).
         self.result_cache: ResultCache | None = None
+        #: canonical spec the entry was fitted from, and the store key its
+        #: snapshots publish under; ``None`` for entries that are not
+        #: store-backed (explicit :meth:`ModelRegistry.register` /
+        #: :meth:`ModelRegistry.adopt`, or no store configured).
+        self.spec: dict | None = None
+        self.store_key: str | None = None
+        #: highest journal op id whose measurements this entry has absorbed
+        #: (folded into the model or buffered in ``pending``); replayed ops
+        #: at or below it are skipped, which makes journal replay after a
+        #: crash idempotent.
+        self.applied_op_id = 0
+        #: op-id watermark of the last durable snapshot: every observation
+        #: at or below it is *folded* into the persisted model, so the
+        #: sharded tier may compact its journal up to this point.
+        self.snapshot_op_id = 0
+        #: observe folds since the last published snapshot (eager mode's
+        #: ``snapshot_every`` throttle counter).
+        self.folds_since_snapshot = 0
 
     @property
     def version(self) -> int:
@@ -207,13 +234,30 @@ class ModelRegistry:
         ``(model_version, item_key)``).  ``0`` or ``None`` disables result
         caching — the mode throughput benchmarks use so repeated identical
         scans measure engine work rather than cache lookups.
+    store:
+        A :class:`~repro.service.store.ModelStore` (or a path to create one
+        at) backing spec-fitted entries with durable snapshots: fits check
+        the store before running (*load-on-miss* — a hit restores the
+        fitted model byte-identically with no CI tests and no
+        least-squares), and refreshes publish a fresh snapshot at each
+        refresh boundary.  ``None`` (the default) keeps the registry
+        purely in-memory.
+    snapshot_every:
+        In eager mode (``drift_threshold=None``) every :meth:`observe`
+        relearns, and publishing a full snapshot per fold would make
+        durability cost quadratic over a long stream; this throttle
+        publishes every ``snapshot_every``-th fold instead (default 1 =
+        every fold).  Drift-aware refreshes always publish — they already
+        amortise over the buffered window.
     """
 
     def __init__(self, capacity: int = 8, use_batched: bool = True,
                  drift_threshold: float | None = None,
                  drift_min_window: int = 4,
                  refresh_async: bool = False,
-                 result_cache_size: int | None = 256) -> None:
+                 result_cache_size: int | None = 256,
+                 store: "ModelStore | str | None" = None,
+                 snapshot_every: int = 1) -> None:
         if capacity < 1:
             raise ValueError("registry capacity must be >= 1")
         self.capacity = int(capacity)
@@ -223,6 +267,13 @@ class ModelRegistry:
         self.drift_min_window = int(drift_min_window)
         self.refresh_async = bool(refresh_async)
         self.result_cache_size = int(result_cache_size or 0)
+        if store is None or isinstance(store, ModelStore):
+            self.store = store
+        else:
+            self.store = ModelStore(store)
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.snapshot_every = int(snapshot_every)
         self._entries: OrderedDict[str, ModelEntry] = OrderedDict()
         self._lock = threading.Lock()
         self._refresh_threads: list[threading.Thread] = []
@@ -231,6 +282,14 @@ class ModelRegistry:
         self.refreshes = 0
         #: observe batches absorbed without a relearn (drift below threshold).
         self.refreshes_skipped = 0
+        #: entries that still held unfolded ``pending`` observations at
+        #: eviction time; each one is flushed (folded + snapshotted) before
+        #: the entry is dropped, so the counter counts saves, not losses.
+        self.evicted_with_pending = 0
+        #: fits avoided by restoring a store snapshot (load-on-miss hits).
+        self.store_loads = 0
+        #: durable snapshots published (base fits + refresh boundaries).
+        self.store_publishes = 0
 
     # ---------------------------------------------------------------- lookup
     def __len__(self) -> int:
@@ -280,9 +339,19 @@ class ModelRegistry:
         With ``keep_existing`` the first resident entry wins and is
         returned instead — the atomic resolution of a fit race, so every
         caller of one key shares one (version-isolated) model.
+
+        Evicted entries are flushed *after* the registry lock is released:
+        an entry with buffered ``pending`` observations folds and persists
+        them first (see :meth:`_flush_evicted`), so eviction never discards
+        observations the model has acknowledged.  Flushing outside
+        ``self._lock`` matters — the flush takes the victim's entry lock,
+        and the asynchronous refresh path acquires ``self._lock`` *while
+        holding* an entry lock, so flushing under ``self._lock`` could
+        deadlock on lock-order inversion.
         """
         if self.result_cache_size and entry.result_cache is None:
             entry.result_cache = ResultCache(self.result_cache_size)
+        evicted: list[ModelEntry] = []
         with self._lock:
             if keep_existing:
                 existing = self._entries.get(key)
@@ -293,9 +362,37 @@ class ModelRegistry:
             self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                _, victim = self._entries.popitem(last=False)
                 self.evictions += 1
-            return entry
+                evicted.append(victim)
+        for victim in evicted:
+            self._flush_evicted(victim)
+        return entry
+
+    def _flush_evicted(self, entry: ModelEntry) -> None:
+        """Fold (and persist) an evicted entry's buffered observations.
+
+        The old eviction path dropped the whole entry object, taking any
+        un-relearned ``pending`` drift buffer with it — observations the
+        service had already acknowledged to clients simply vanished.  Now
+        the buffer is folded through a final refresh (which also publishes
+        a durable snapshot when the entry is store-backed) before the
+        entry is garbage.  Waits out any in-flight asynchronous refresh
+        first so the fold sees a settled model.
+        """
+        event = entry.refresh_event
+        if event is not None:
+            event.wait()
+        with entry.observe_lock, entry.lock:
+            if not entry.pending:
+                return
+            self.evicted_with_pending += 1
+            if entry.unicorn is None or entry.state is None:
+                return  # pragma: no cover - adopted entries never buffer
+            folded = list(entry.pending)
+            entry.pending.clear()
+            self._refresh_entry(entry, folded,
+                                covered_op_id=entry.applied_op_id)
 
     def register(self, subject: str, unicorn: Unicorn,
                  state: LoopState | None = None) -> ModelEntry:
@@ -348,14 +445,20 @@ class ModelRegistry:
             ``system`` (required, a :func:`repro.systems.registry.get_system`
             name), and optionally ``hardware``, ``n_samples`` (default 60),
             ``seed`` (default 0), ``max_condition_size`` (default 1) and
-            ``relevant_options``.  The canonical JSON of this mapping is
-            hashed into the registry key, so equal specs share one entry.
+            ``relevant_options``.  The spec is canonicalised first —
+            key order, tuple-versus-list spelling and explicitly spelled
+            defaults (``seed=0``, ``n_samples=60``, ...) are all erased —
+            and the canonical form is hashed into the registry key, so
+            *equal-meaning* specs share one entry and never fit twice.
 
         Returns
         -------
         ModelEntry
-            The (possibly freshly fitted) entry; its ``key`` is the spec's
-            content hash.
+            The (possibly freshly fitted) entry; its ``key`` is the
+            canonical spec's content hash.  With a ``store`` configured, a
+            miss first tries to restore the latest durable snapshot
+            (skipping the fit entirely) and a fresh fit publishes its base
+            snapshot.
 
         Raises
         ------
@@ -365,20 +468,24 @@ class ModelRegistry:
         spec = dict(spec)
         if "system" not in spec:
             raise KeyError("subject spec needs a 'system' name")
-        key = content_hash(spec)
+        key = spec_key(spec)
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 entry.hits += 1
                 return entry
-        unicorn = unicorn_from_spec(spec, use_batched=self.use_batched)
-        state = unicorn.fit()
+        entry = self._restore_from_store(key, spec, store_key=key)
+        if entry is None:
+            unicorn = unicorn_from_spec(spec, use_batched=self.use_batched)
+            state = unicorn.fit()
+            entry = ModelEntry(key, unicorn, state)
+            self._bind_store(entry, spec, store_key=key)
+            self._publish_entry(entry, covered_op_id=0)
         # The fit ran outside the lock; a concurrent get_or_fit of the same
         # spec may have won the race.  keep_existing resolves it atomically:
         # the first resident entry wins and the redundant fit is discarded.
-        return self._insert(key, ModelEntry(key, unicorn, state),
-                            keep_existing=True)
+        return self._insert(key, entry, keep_existing=True)
 
     def register_spec(self, subject: str,
                       spec: Mapping[str, object]) -> ModelEntry:
@@ -401,15 +508,153 @@ class ModelRegistry:
         Returns
         -------
         ModelEntry
-            The freshly fitted resident entry.
+            The resident entry — restored from the store's latest snapshot
+            when one exists for this ``(subject, spec)`` pair (the worker
+            cold-start fast path: no CI tests, no least-squares), freshly
+            fitted otherwise (publishing the base snapshot).
+        """
+        key = subject_key(subject, spec)
+        entry = self._restore_from_store(subject, spec, store_key=key)
+        if entry is None:
+            unicorn = unicorn_from_spec(spec, use_batched=self.use_batched)
+            entry = ModelEntry(subject, unicorn, unicorn.fit())
+            self._bind_store(entry, spec, store_key=key)
+            self._publish_entry(entry, covered_op_id=0)
+        return self._insert(subject, entry)
+
+    # ----------------------------------------------------------- persistence
+    def _bind_store(self, entry: ModelEntry, spec: Mapping[str, object],
+                    store_key: str) -> None:
+        """Attach snapshot addressing to a freshly fitted entry."""
+        entry.spec = canonical_spec(spec)
+        if self.store is not None:
+            entry.store_key = store_key
+
+    def _publish_entry(self, entry: ModelEntry, covered_op_id: int) -> None:
+        """Publish a durable snapshot of ``entry`` if it is store-backed.
+
+        Caller holds the entry lock (or exclusively owns the entry, as at
+        fit time) and guarantees the refresh-boundary invariant: every
+        observation up to ``covered_op_id`` is folded into the model and
+        ``entry.pending`` is empty.
+        """
+        if self.store is None or entry.store_key is None:
+            return
+        doc = snapshot_document(entry, entry.spec, subject=entry.key,
+                                applied_op_id=covered_op_id)
+        self.store.publish(entry.store_key, doc)
+        entry.snapshot_op_id = int(covered_op_id)
+        entry.folds_since_snapshot = 0
+        self.store_publishes += 1
+
+    def _restore_from_store(self, key: str, spec: Mapping[str, object],
+                            store_key: str) -> ModelEntry | None:
+        """Rebuild a resident entry from the store's latest snapshot.
+
+        Returns ``None`` — and the caller falls back to a clean fit — when
+        no store is configured, no snapshot exists, the snapshot fails to
+        parse, or its recorded ``spec_hash`` disagrees with the requested
+        spec (a content-hash collision guard and a schema-drift guard in
+        one).
+        """
+        if self.store is None:
+            return None
+        doc = self.store.load(store_key)
+        if doc is None or doc.get("spec_hash") != spec_key(spec):
+            return None
+        try:
+            entry = self._entry_from_snapshot(key, spec, doc)
+        except (KeyError, TypeError, ValueError):
+            # Fail closed on any malformed-document shape the store's own
+            # format check could not catch; the caller refits from the spec.
+            return None
+        self._bind_store(entry, spec, store_key=store_key)
+        self.store_loads += 1
+        return entry
+
+    def _entry_from_snapshot(self, key: str, spec: Mapping[str, object],
+                             doc: dict) -> ModelEntry:
+        """Materialise a fitted entry from a snapshot document.
+
+        The expensive pipeline is skipped entirely: the learned structure,
+        dataset and decision trace come back through
+        :meth:`~repro.discovery.pipeline.LearnedModel.from_dict`, the
+        fitted equations through
+        :meth:`~repro.scm.fitting.FittedPerformanceModel.from_dict`
+        (bitwise, via the array codec), and the engine adopts them as
+        ``prefitted`` — so the reload performs no CI test and no
+        least-squares solve, yet answers queries byte-identically to the
+        process that published the snapshot.  Later refreshes behave
+        exactly as on a continuously running entry: the restored decision
+        trace drives the learner's warm-start path and the restored drift
+        baseline reproduces the refresh schedule.
         """
         unicorn = unicorn_from_spec(spec, use_batched=self.use_batched)
-        return self._insert(subject,
-                            ModelEntry(subject, unicorn, unicorn.fit()))
+        learned = LearnedModel.from_dict(doc["learned"], unicorn.constraints)
+        fitted = FittedPerformanceModel.from_dict(doc["fitted"], learned.data)
+        engine = CausalInferenceEngine(
+            learned, unicorn.domains,
+            top_k_paths=unicorn.config.top_k_paths,
+            max_contexts=unicorn.config.max_contexts,
+            batched=unicorn.config.batched_queries,
+            prefitted=fitted)
+        state = LoopState(measurements=measurements_from_document(doc),
+                          learned=learned, engine=engine)
+        entry = ModelEntry(key, unicorn, state)
+        entry._version = int(doc["version"])
+        if doc.get("drift") is not None:
+            entry.drift = DriftDetector.from_dict(doc["drift"])
+        entry.applied_op_id = int(doc.get("applied_op_id", 0))
+        entry.snapshot_op_id = entry.applied_op_id
+        return entry
+
+    def flush(self) -> int:
+        """Make every store-backed entry durable; returns snapshots written.
+
+        The graceful-shutdown counterpart of crash recovery: folds any
+        buffered ``pending`` observations (waiting out in-flight
+        asynchronous refreshes first) and publishes a snapshot for every
+        entry whose model state has advanced past its last one.  After a
+        flush, a *new service generation* can cold-start from the store
+        alone — no journal exists across generations to cover the gap the
+        eager-mode ``snapshot_every`` throttle (or a drift buffer) leaves
+        behind.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        published = 0
+        for entry in entries:
+            if self.store is None or entry.store_key is None:
+                continue
+            event = entry.refresh_event
+            if event is not None:
+                event.wait()
+            with entry.observe_lock, entry.lock:
+                if entry.pending:
+                    folded = list(entry.pending)
+                    entry.pending.clear()
+                    self._refresh_entry(entry, folded,
+                                        covered_op_id=entry.applied_op_id)
+                    published += 1
+                elif entry.folds_since_snapshot > 0 \
+                        or entry.snapshot_op_id < entry.applied_op_id:
+                    self._publish_entry(entry,
+                                        covered_op_id=entry.applied_op_id)
+                    published += 1
+        return published
+
+    def snapshot_watermark(self, subject: str) -> int:
+        """Op-id watermark of ``subject``'s last durable snapshot (0 when
+        the subject is absent or has never snapshotted) — the bound up to
+        which the sharded tier may compact its observation journal."""
+        with self._lock:
+            entry = self._entries.get(subject)
+        return 0 if entry is None else int(entry.snapshot_op_id)
 
     # --------------------------------------------------------------- refresh
     def observe(self, subject: str,
-                measurements: Sequence[Measurement]) -> int:
+                measurements: Sequence[Measurement],
+                op_id: int | None = None) -> int:
         """Fold new measurements into a subject's model.
 
         With the default ``drift_threshold=None`` this is the eager PR 4
@@ -435,6 +680,13 @@ class ModelRegistry:
             Registry key of the entry to refresh.
         measurements:
             New :class:`~repro.systems.base.Measurement` objects.
+        op_id:
+            Journal op id of this batch (the sharded tier's replay
+            plumbing).  Batches at or below the entry's ``applied_op_id``
+            watermark are silently skipped — that is what makes journal
+            replay after a crash idempotent even when an op is delivered
+            both by suffix replay and by in-flight requeue.  ``None``
+            (direct callers) applies unconditionally.
 
         Returns
         -------
@@ -456,12 +708,20 @@ class ModelRegistry:
                 "and cannot be refreshed")
         if self.drift_threshold is None:
             with entry.lock:
+                if op_id is not None:
+                    if op_id <= entry.applied_op_id:
+                        return entry.version
+                    entry.applied_op_id = int(op_id)
                 entry.state.measurements.extend(measurements)
                 entry.unicorn.learn(entry.state)
                 self.refreshes += 1
                 version = entry.bump_version()
                 if entry.result_cache is not None:
                     entry.result_cache.invalidate_older_than(version)
+                entry.folds_since_snapshot += 1
+                if entry.folds_since_snapshot >= self.snapshot_every:
+                    self._publish_entry(
+                        entry, covered_op_id=entry.applied_op_id)
                 return version
         # A previously triggered asynchronous refresh must land before the
         # next batch is scored: every replica then interleaves refreshes
@@ -475,15 +735,20 @@ class ModelRegistry:
             event = entry.refresh_event
             if event is not None:
                 event.wait()
-            return self._observe_drift_locked(entry, measurements)
+            return self._observe_drift_locked(entry, measurements, op_id)
 
     def _observe_drift_locked(self, entry: ModelEntry,
-                              measurements: Sequence[Measurement]) -> int:
+                              measurements: Sequence[Measurement],
+                              op_id: int | None = None) -> int:
         """Drift-path body of :meth:`observe`; caller holds the entry's
         ``observe_lock`` and any prior async refresh has completed."""
         subject = entry.key
         with entry.lock:
             entry.refresh_event = None
+            if op_id is not None:
+                if op_id <= entry.applied_op_id:
+                    return entry.version
+                entry.applied_op_id = int(op_id)
             if entry.drift is None:
                 entry.drift = DriftDetector(
                     entry.unicorn.objective_names,
@@ -498,14 +763,19 @@ class ModelRegistry:
                 return entry.version
             folded = list(entry.pending)
             entry.pending.clear()
+            # Captured here, under the entry lock, at trigger time: by the
+            # time an asynchronous refresh thread publishes its snapshot
+            # the main thread may already be absorbing the next op, so the
+            # watermark the snapshot covers must be pinned now.
+            covered = entry.applied_op_id
             if not self.refresh_async:
-                return self._refresh_entry(entry, folded)
+                return self._refresh_entry(entry, folded, covered)
             done = threading.Event()
             entry.refresh_event = done
 
             def refresh_then_signal() -> None:
                 try:
-                    self._refresh_entry(entry, folded)
+                    self._refresh_entry(entry, folded, covered)
                 finally:
                     done.set()
 
@@ -520,11 +790,16 @@ class ModelRegistry:
             return entry.version
 
     def _refresh_entry(self, entry: ModelEntry,
-                       folded: Sequence[Measurement]) -> int:
+                       folded: Sequence[Measurement],
+                       covered_op_id: int | None = None) -> int:
         """Fold buffered measurements, relearn, bump version, rebaseline.
 
         Runs under the entry lock — queries against this subject wait for
         the refresh (version isolation) while other subjects proceed.
+        This is the refresh boundary the durable snapshot is published at:
+        the fold emptied the pending buffer and the detector just
+        rebaselined, so the snapshot's ``covered_op_id`` watermark (pinned
+        by the caller at trigger time) covers exactly the folded stream.
         """
         with entry.lock:
             entry.state.measurements.extend(folded)
@@ -536,6 +811,10 @@ class ModelRegistry:
                 entry.drift.rebaseline(entry.engine,
                                        entry.state.measurements)
             self.refreshes += 1
+            self._publish_entry(
+                entry,
+                covered_op_id=(entry.applied_op_id if covered_op_id is None
+                               else covered_op_id))
             return version
 
     def quiesce(self, timeout: float | None = 30.0) -> None:

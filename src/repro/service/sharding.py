@@ -25,12 +25,19 @@ batches, and adds the serving policies a multi-process tier needs:
   the observe-triggered refreshes it replays from the journal after a
   crash), so cached answers preserve the identity — hit/miss counts ride
   in :meth:`worker_stats` payloads.
-* **Crash recovery** — a liveness monitor respawns a dead worker, refits
-  its subjects, replays the shard's observation journal (so the replica
-  reconverges to the exact pre-crash model state, including the drift
-  detector's refresh schedule) and requeues the in-flight batches, up to
-  ``max_requeues`` per batch before the batch's futures resolve with an
-  error response instead of crash-looping.
+* **Crash recovery** — a liveness monitor respawns a dead worker,
+  restores its subjects (from the persistent model store's latest
+  snapshots when ``store_path`` is set — no refit, no CI tests — and by
+  refitting from specs otherwise), replays the shard's observation
+  journal (so the replica reconverges to the exact pre-crash model
+  state, including the drift detector's refresh schedule) and requeues
+  the in-flight batches, up to ``max_requeues`` per batch before the
+  batch's futures resolve with an error response instead of
+  crash-looping.  With a store, each worker acknowledgement carries the
+  subject's durable *snapshot watermark* and the parent compacts the
+  journal up to it, so recovery replays only the journal **suffix**
+  past the snapshot — the worker-side ``applied_op_id`` guard makes any
+  overlap idempotent.
 * **Backpressure and lifecycle** — a bounded in-flight budget raises
   :class:`~repro.service.service.AdmissionError` like the single-process
   tier, and :meth:`close` drains admitted work then resolves anything
@@ -110,6 +117,8 @@ class ShardedServiceStats:
     closed_errors: int = 0
     #: dispatch batches sent (per-shard coalescing opportunities).
     dispatch_batches: int = 0
+    #: journal entries dropped because a durable snapshot covered them.
+    journal_ops_compacted: int = 0
     per_shard_answered: dict = field(default_factory=dict)
 
 
@@ -151,11 +160,15 @@ class _Shard:
         self.requeue_counts: dict[int, int] = {}
         #: control ops awaiting replies, by op id.
         self.control: dict[int, _ControlOp] = {}
-        #: every observe ever sent, for deterministic crash replay.  The
-        #: journal is unbounded by design in this tier (recovery = refit
-        #: from spec + full replay); a deployment with heavy observation
-        #: streams would checkpoint worker model state instead and
-        #: truncate here — see docs/serving.md.
+        #: observes not yet covered by a durable snapshot, kept for
+        #: deterministic crash replay.  With a model store configured,
+        #: every ``observed`` acknowledgement carries the subject's
+        #: snapshot watermark and the parent drops journal entries at or
+        #: below it (suffix compaction) — the journal stays bounded by
+        #: the snapshot cadence instead of growing with the stream.
+        #: Without a store it degrades to the pre-store behaviour: the
+        #: full journal, replayed in its entirety on respawn.  See
+        #: docs/serving.md.
         self.journal: list[tuple[int, str, Sequence]] = []
         #: set when a respawn failed permanently; the shard fails new
         #: work fast instead of queueing it for a worker that will never
@@ -205,6 +218,20 @@ class ShardedQueryService:
     start_timeout:
         Seconds to wait for a worker to fit its subjects at startup (and
         again on respawn) before giving up.
+    store_path:
+        Directory of a persistent :class:`~repro.service.store.ModelStore`
+        shared by every worker (each opens it by path — a plain string
+        crosses the ``spawn`` process boundary).  Workers then cold-start
+        and crash-recover by *loading* their subjects' latest snapshots
+        instead of refitting, publish fresh snapshots at every refresh
+        boundary, and the parent compacts its observation journal up to
+        each acknowledged snapshot watermark.  ``None`` (default) keeps
+        the in-memory refit-plus-full-replay behaviour.
+    snapshot_every:
+        Forwarded to each worker registry: in eager mode
+        (``drift_threshold=None``) a durable snapshot is published every
+        N-th observe fold rather than every fold, bounding durability
+        cost on hot observation streams (the journal covers the gap).
 
     Examples
     --------
@@ -222,7 +249,9 @@ class ShardedQueryService:
                  batch_window: float = 0.001, max_pending: int = 4096,
                  max_requeues: int = 2,
                  start_timeout: float = 300.0,
-                 result_cache_size: int | None = 256) -> None:
+                 result_cache_size: int | None = 256,
+                 store_path: str | None = None,
+                 snapshot_every: int = 1) -> None:
         if not specs:
             raise ValueError("a sharded service needs at least one subject")
         if shards < 1 or max_pending < 1 or max_requeues < 0:
@@ -241,7 +270,10 @@ class ShardedQueryService:
             "drift_min_window": int(drift_min_window),
             "refresh_async": bool(refresh_async),
             "result_cache_size": result_cache_size,
+            "store": None if store_path is None else str(store_path),
+            "snapshot_every": int(snapshot_every),
         }
+        self.store_path = None if store_path is None else str(store_path)
         self._ctx = (mp.get_context("fork")
                      if "fork" in mp.get_all_start_methods()
                      else mp.get_context("spawn"))
@@ -324,6 +356,14 @@ class ShardedQueryService:
             if message[0] == "fit_error":
                 raise RuntimeError(f"shard {shard.index} failed to fit "
                                    f"{message[1]!r}: {message[2]}")
+            if message[0] == "fitted" and len(message) > 3:
+                # A subject restored from a store snapshot carries the
+                # op-id watermark of the service generation that published
+                # it; start our own op ids past it so fresh observes are
+                # never skipped as replays of a previous generation.
+                with self._lock:
+                    self._next_op_id = max(self._next_op_id,
+                                           int(message[3]))
 
     # ------------------------------------------------------------- submission
     def _route(self, request: QueryRequest) -> _Shard:
@@ -696,7 +736,7 @@ class ShardedQueryService:
             if verb == "answers":
                 self._resolve_answers(shard, message[1], message[2])
             elif verb == "observed":
-                self._resolve_control(shard, message[1], message[2])
+                self._resolve_observed(shard, message)
             elif verb == "quiesced":
                 self._resolve_control(shard, message[1], None)
             elif verb == "stats":
@@ -727,6 +767,43 @@ class ShardedQueryService:
             answered[shard.index] = answered.get(shard.index, 0) \
                 + len(responses)
 
+    def _resolve_observed(self, shard: _Shard, message: tuple) -> None:
+        """Resolve one observe acknowledgement and compact its journal.
+
+        The reply's optional fourth element is the subject's durable
+        snapshot watermark: every journal entry of that subject with an
+        op id at or below it is folded into a snapshot the worker can
+        reload, so the parent drops those entries *before* resolving the
+        caller's future (a client that has seen the ack can rely on the
+        compaction having happened).  Replayed ops after a respawn have
+        no tracked control entry (and thus no known subject) — their
+        replies resolve nothing and compact nothing; compaction catches
+        up on the next live observe.
+        """
+        op_id, version = message[1], message[2]
+        with shard.lock:
+            op = shard.control.pop(op_id, None)
+            if op is not None and op.payload and len(message) > 3:
+                self._compact_journal_locked(shard, str(op.payload[0]),
+                                             int(message[3]))
+        if op is not None and op.future is not None \
+                and not op.future.done():
+            op.future.set_result(version)
+
+    def _compact_journal_locked(self, shard: _Shard, subject: str,
+                                watermark: int) -> None:
+        """Drop ``subject``'s journal prefix covered by ``watermark``;
+        the caller holds ``shard.lock``."""
+        if watermark <= 0:
+            return
+        kept = [entry for entry in shard.journal
+                if entry[1] != subject or entry[0] > watermark]
+        dropped = len(shard.journal) - len(kept)
+        if dropped:
+            shard.journal = kept
+            with self._lock:
+                self.stats.journal_ops_compacted += dropped
+
     def _resolve_control(self, shard: _Shard, op_id: int, value) -> None:
         with shard.lock:
             op = shard.control.pop(op_id, None)
@@ -747,12 +824,20 @@ class ShardedQueryService:
         """Replace a dead worker and deterministically restore its state.
 
         Runs on the shard's reader thread: start a fresh worker on fresh
-        queues, refit the shard's subjects, replay the observation
-        journal in order (reconstructing the exact refresh schedule the
-        dead worker had reached), then requeue the in-flight dispatch
-        batches — each at most ``max_requeues`` times, after which its
-        futures resolve with error responses so a poison batch cannot
-        respawn-loop the shard forever.
+        queues and restore the shard's subjects — loaded from the model
+        store's latest snapshots when one is configured (the fast path:
+        no refit), fitted from specs otherwise — then replay the
+        observation journal in order.  With a store the journal has been
+        compacted up to each subject's snapshot watermark, so this
+        replays only the *suffix* past the restored snapshots, and the
+        worker's ``applied_op_id`` guard skips any entry the snapshot
+        already covers (the watermark may run ahead of the last
+        compaction by one acknowledgement).  Either way the replica
+        reconverges to the exact pre-crash model state, including the
+        drift detector's refresh schedule.  Finally the in-flight
+        dispatch batches are requeued — each at most ``max_requeues``
+        times, after which their futures resolve with error responses so
+        a poison batch cannot respawn-loop the shard forever.
         """
         with self._lock:
             self.stats.respawns += 1

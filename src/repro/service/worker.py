@@ -19,14 +19,17 @@ picklable tuple, so the same loop runs
 
 The command protocol (first tuple element is the verb)::
 
-    ("fit", subject, spec)            -> ("fitted", subject, n_measurements)
+    ("fit", subject, spec)            -> ("fitted", subject, n_measurements,
+                                          applied_op_id)
     ("dispatch", batch_id, requests)  -> ("answers", batch_id, responses)
-    ("observe", op_id, subject, ms)   -> ("observed", op_id, version)
+    ("observe", op_id, subject, ms)   -> ("observed", op_id, version,
+                                          snapshot_op)
     ("quiesce", op_id)                -> ("quiesced", op_id)
     ("sync",)                         -> no reply; joins pending refreshes
     ("stats", op_id)                  -> ("stats", op_id, payload)
     ("crash",)                        -> no reply; the worker dies abruptly
-    ("shutdown",)                     -> ("bye",), then the loop returns
+    ("shutdown",)                     -> ("bye",) after flushing final
+                                         snapshots, then the loop returns
 
 Failures are replies, not silence: a fit error answers ``("fit_error",
 subject, message)`` and an observe error ``("observe_error", op_id,
@@ -74,7 +77,9 @@ class ShardServer:
     registry_options:
         Keyword arguments for this worker's private
         :class:`ModelRegistry` (``capacity``, ``use_batched``,
-        ``drift_threshold``, ``drift_min_window``, ``refresh_async``).
+        ``drift_threshold``, ``drift_min_window``, ``refresh_async``,
+        ``store`` — passed as a path string so it pickles across the
+        process boundary — and ``snapshot_every``).
     """
 
     def __init__(self, shard_index: int, commands, results,
@@ -95,6 +100,11 @@ class ShardServer:
             command = self.commands.get()
             verb = command[0]
             if verb == "shutdown":
+                # Graceful shutdown makes the store fully durable: fold
+                # any buffered observations and snapshot every entry that
+                # advanced past its last publish, so the next service
+                # generation cold-starts byte-identical with no journal.
+                self.registry.flush()
                 self.results.put(("bye",))
                 return
             if verb == "crash":
@@ -125,7 +135,12 @@ class ShardServer:
     def _handle_fit(self, subject: str, spec: Mapping[str, object]) -> None:
         try:
             entry = self.registry.register_spec(subject, spec)
-            self.results.put(("fitted", subject, entry.n_measurements))
+            # The restored watermark rides on the ack: a parent starting a
+            # fresh service over an already-populated store advances its
+            # op-id counter past it, so new observes are never mistaken
+            # for replays of a previous service generation.
+            self.results.put(("fitted", subject, entry.n_measurements,
+                              entry.applied_op_id))
         except Exception as exc:  # noqa: BLE001 - reply, don't die
             self.results.put(("fit_error", subject, str(exc)))
 
@@ -138,8 +153,16 @@ class ShardServer:
     def _handle_observe(self, op_id: int, subject: str,
                         measurements: Sequence) -> None:
         try:
-            version = self.registry.observe(subject, measurements)
-            self.results.put(("observed", op_id, version))
+            version = self.registry.observe(subject, measurements,
+                                            op_id=op_id)
+            # The snapshot watermark rides on every observed reply: it
+            # tells the parent how far this subject's durable snapshot
+            # reaches, i.e. how much of its journal is safe to compact.
+            # (With asynchronous refreshes the watermark can lag the op
+            # that triggered the snapshot by one reply — compaction then
+            # simply catches up on the next observe.)
+            self.results.put(("observed", op_id, version,
+                              self.registry.snapshot_watermark(subject)))
         except Exception as exc:  # noqa: BLE001 - reply, don't die
             self.results.put(("observe_error", op_id, str(exc)))
 
@@ -198,6 +221,9 @@ class ShardServer:
                 "cache_misses": self.batcher.cache_misses,
                 "refreshes": self.registry.refreshes,
                 "refreshes_skipped": self.registry.refreshes_skipped,
+                "store_loads": self.registry.store_loads,
+                "store_publishes": self.registry.store_publishes,
+                "evicted_with_pending": self.registry.evicted_with_pending,
                 "drift": drift}
 
 

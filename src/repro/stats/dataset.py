@@ -157,6 +157,29 @@ class Dataset:
         """Independent copy of this dataset (rows, columns, discrete flags)."""
         return Dataset(self._columns, self.values, discrete=self._discrete)
 
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of the dataset (values bitwise, via base64).
+
+        Only the live rows are captured — spare growth capacity and the
+        ``data_epoch`` counter are reconstruction details, not data.
+        """
+        from repro.stats.codec import array_to_doc
+
+        return {
+            "columns": list(self._columns),
+            "discrete": sorted(self._discrete),
+            "values": array_to_doc(self.values),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Dataset":
+        """Rebuild a dataset snapshotted by :meth:`to_dict`, bitwise."""
+        from repro.stats.codec import array_from_doc
+
+        return cls(payload["columns"], array_from_doc(payload["values"]),
+                   discrete=payload.get("discrete", ()))
+
     def concat(self, other: "Dataset") -> "Dataset":
         """Concatenate two datasets with identical columns."""
         if other.columns != self._columns:
