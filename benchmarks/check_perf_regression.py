@@ -35,9 +35,13 @@ from pathlib import Path
 #: ``cache_hit_rate`` is a workload-determined fraction, not a timing, so
 #: it transfers between runners like the speedup ratios do;
 #: ``cold_start_speedup`` / ``recovery_speedup`` divide the refit+replay
-#: restart path by the snapshot-restore path taken on the same runner.
+#: restart path by the snapshot-restore path taken on the same runner;
+#: ``refresh_availability`` / ``refresh_capacity_fraction`` are fractions
+#: of probes answered and of fleet capacity retained during a rolling
+#: refresh — workload-determined, so they transfer between runners too.
 TRACKED_KEYS = ("speedup", "median_speedup", "coalesced_ratio",
-                "cache_hit_rate", "cold_start_speedup", "recovery_speedup")
+                "cache_hit_rate", "cold_start_speedup", "recovery_speedup",
+                "refresh_availability", "refresh_capacity_fraction")
 DEFAULT_TOLERANCE = 0.20
 
 

@@ -24,6 +24,16 @@ trees, resumable artifacts) the paper experiments use.  Two cell kinds:
   recovery** (snapshot restore plus journal-*suffix* replay vs refit plus
   full-journal replay) are timed head to head, with byte-identity of
   every recovered tier's answers against a single-process reference.
+* ``rolling_refresh`` — the availability story: per-subject probe
+  clients keep querying while
+  :meth:`~repro.service.sharding.ShardedQueryService.rolling_refresh`
+  upgrades the fleet onto new specs one shard at a time; reports probe
+  availability and admission counts against a no-refresh baseline
+  window, the capacity fraction implied by the refresh windows (at most
+  one shard out at a time = never below N-1), byte-identity of the
+  upgraded fleet against a cold fleet fitted directly on the new specs,
+  and — via a deliberately poisoned second sweep — that a failed
+  upgrade rolls the fleet back byte-identically.
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ from repro.systems.registry import get_system
 SERVICE_CELL = "service_throughput"
 SHARDED_SERVICE_CELL = "sharded_service_throughput"
 COLD_START_CELL = "cold_start_recovery"
+ROLLING_REFRESH_CELL = "rolling_refresh"
 
 
 def run_service_throughput(system_name: str, hardware: str | None = None,
@@ -474,6 +485,296 @@ def run_cold_start_recovery(system_name: str, hardware: str | None = None,
     }
 
 
+def _max_window_overlap(windows: Sequence[Mapping]) -> int:
+    """Peak number of refresh windows open at one instant (0 if none)."""
+    events: list[tuple[float, int]] = []
+    for window in windows:
+        events.append((float(window["started"]), 1))
+        events.append((float(window["finished"]), -1))
+    events.sort()  # a close sorts before an open at the same timestamp
+    current = peak = 0
+    for _, delta in events:
+        current += delta
+        peak = max(peak, current)
+    return peak
+
+
+def run_rolling_refresh(system_name: str, hardware: str | None = None,
+                        n_subjects: int = 4, shards: int = 2,
+                        observation_rounds: int = 2,
+                        observations_per_round: int = 6,
+                        n_samples: int = 40, new_n_samples: int = 60,
+                        seed: int = 0, probe_queries: int = 24,
+                        baseline_window: float = 0.25,
+                        poll_interval: float = 0.0,
+                        use_processes: bool = True,
+                        store_root: str | None = None,
+                        batch_window: float = 0.002,
+                        drain_timeout: float = 120.0,
+                        check_rollback: bool = True) -> dict:
+    """Measure fleet availability through a zero-downtime rolling refresh.
+
+    A sharded fleet over a persistent store is primed with observation
+    streams, then upgraded onto new specs (``new_n_samples`` replaces
+    ``n_samples``) by :meth:`~repro.service.sharding.ShardedQueryService.
+    rolling_refresh` **while one probe client per subject keeps
+    querying** (:func:`repro.service.workload.refresh_under_traffic`).
+    The same probe traffic also runs for a no-refresh ``baseline_window``
+    first, so the refresh's admission behaviour has a control to be
+    compared against.  Four verdicts come out:
+
+    * ``refresh_availability`` — fraction of probes answered cleanly
+      during the refresh (the gate demands 1.0: no errors, no
+      exceptions, no rejections);
+    * ``refresh_capacity_fraction`` — 1.0 when at most one shard's
+      refresh window was open at any instant (capacity never below N-1
+      of N shards), degrading toward 0.0 with overlap;
+    * ``identical`` — the upgraded fleet answers a probe workload
+      byte-identically to a cold single-process registry fitted directly
+      on the new specs (an upgrade is indistinguishable from a fresh
+      deployment);
+    * ``rollback_identical`` — a second fleet swept with one deliberately
+      poisoned spec raises
+      :class:`~repro.service.sharding.RollingRefreshError` and then
+      answers byte-identically to its pre-refresh self (failed upgrades
+      leave no trace), exercising per-shard
+      :meth:`~repro.service.store.ModelStore.rollback`.
+
+    Parameters
+    ----------
+    system_name, hardware:
+        Subject system; each of the ``n_subjects`` models gets its own
+        seed-tree-derived fit seed.
+    n_subjects, shards:
+        Fleet shape.
+    observation_rounds, observations_per_round:
+        Priming observation stream per subject (folded into the models
+        the rollback check must restore byte-identically).
+    n_samples, new_n_samples:
+        Old- and new-generation observational sample sizes — the spec
+        change the refresh deploys.
+    seed:
+        Root seed of the fit/workload seed tree.
+    probe_queries:
+        Size of the byte-identity probe workload (split across
+        subjects).
+    baseline_window:
+        Seconds of no-refresh probe traffic measured as the admission
+        control.
+    poll_interval:
+        Sleep between probe submissions (0 = back-to-back).
+    use_processes:
+        Worker processes (``True``) or in-process worker threads.
+    store_root:
+        Directory for the model store; a temporary directory if
+        ``None``.
+    batch_window:
+        Dispatcher coalescing window.
+    drain_timeout:
+        Per-shard drain/flush barrier timeout of the refresh.
+    check_rollback:
+        Run the poisoned-sweep rollback phase (skippable for pure
+        availability timing).
+
+    Returns
+    -------
+    dict
+        JSON-serializable cell result (see the four verdicts above, plus
+        probe counts, refresh wall seconds, per-service admission
+        deltas and the service's refresh counters).
+    """
+    import tempfile
+    import shutil
+
+    from repro.service.sharding import (RollingRefreshError,
+                                        ShardedQueryService,
+                                        registry_from_specs, shard_of)
+    from repro.service.batcher import RequestBatcher
+    from repro.service.workload import (_derived_seed, canonical_answers,
+                                        drifting_measurement_stream,
+                                        mixed_workload, refresh_under_traffic)
+    import threading
+
+    specs = {
+        f"{system_name}-{i}": {
+            "system": system_name, "hardware": hardware,
+            "n_samples": int(n_samples), "seed": _derived_seed(seed, 9, i),
+        }
+        for i in range(int(n_subjects))
+    }
+    new_specs = {subject: dict(spec, n_samples=int(new_n_samples))
+                 for subject, spec in specs.items()}
+    systems = {subject: get_system(system_name, hardware=hardware)
+               for subject in specs}
+
+    # Probe workloads come from the old generation's engines (payload
+    # vocabulary only; the requests are equally valid against the new
+    # models), one batch per subject plus a single hot probe each for
+    # the live-traffic clients.
+    old_reference = registry_from_specs(specs)
+    probes = []
+    probe_map = {}
+    for position, subject in enumerate(sorted(specs)):
+        subject_probes = mixed_workload(
+            subject, old_reference.get(subject).engine,
+            systems[subject].objectives,
+            max(int(probe_queries) // len(specs), 1),
+            seed=_derived_seed(seed, 11, position))
+        probes.extend(subject_probes)
+        probe_map[subject] = subject_probes[0]
+    streams = {
+        subject: drifting_measurement_stream(
+            systems[subject], int(observation_rounds),
+            int(observations_per_round),
+            seed=_derived_seed(seed, 13, position))
+        for position, subject in enumerate(sorted(specs))
+    }
+
+    # The byte-identity reference: a cold single-process registry fitted
+    # directly on the NEW specs — what the upgraded fleet must match.
+    new_reference = registry_from_specs(new_specs)
+    new_reference_answers = canonical_answers([
+        response
+        for subject in sorted(specs)
+        for response in RequestBatcher().serial_dispatch(
+            new_reference.get(subject),
+            [p for p in probes if p.subject == subject])])
+
+    def prime(service):
+        acks = []
+        for round_index in range(int(observation_rounds)):
+            for subject in sorted(specs):
+                acks.append(service.observe(
+                    subject, streams[subject][round_index], block=False))
+        service.quiesce()
+        for ack in acks:
+            ack.result(timeout=600.0)
+
+    def probe_window(service, duration: float) -> list[dict]:
+        """No-refresh control: the refresh's probe loop, without the
+        refresh."""
+        records: list[dict] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def prober(subject, request):
+            while not stop.is_set():
+                entry = {"subject": subject, "started": time.monotonic()}
+                try:
+                    response = service.submit(request, timeout=600.0)
+                    entry["ok"] = bool(response.ok)
+                    entry["error"] = response.error
+                except BaseException as exc:  # noqa: BLE001 - recorded
+                    entry["ok"] = False
+                    entry["error"] = f"{type(exc).__name__}: {exc}"
+                entry["finished"] = time.monotonic()
+                with lock:
+                    records.append(entry)
+                if poll_interval:
+                    time.sleep(poll_interval)
+
+        threads = [threading.Thread(target=prober, args=item)
+                   for item in sorted(probe_map.items())]
+        for thread in threads:
+            thread.start()
+        time.sleep(float(duration))
+        stop.set()
+        for thread in threads:
+            thread.join()
+        return records
+
+    store_dir = store_root or tempfile.mkdtemp(prefix="rolling-refresh-")
+    service_options = dict(shards=int(shards),
+                           use_processes=bool(use_processes),
+                           batch_window=float(batch_window))
+    result: dict = {
+        "system": system_name,
+        "n_subjects": int(n_subjects),
+        "shards": int(shards),
+        "n_probe_queries": len(probes),
+    }
+    try:
+        with ShardedQueryService(specs, store_path=store_dir,
+                                 **service_options) as service:
+            prime(service)
+            rejected_before = service.stats.rejected
+            baseline_records = probe_window(service,
+                                            float(baseline_window))
+            baseline_rejected = service.stats.rejected - rejected_before
+
+            rejected_before = service.stats.rejected
+            started = time.perf_counter()
+            windows, records = refresh_under_traffic(
+                service, new_specs, probe_map,
+                drain_timeout=float(drain_timeout),
+                poll_interval=float(poll_interval))
+            refresh_seconds = time.perf_counter() - started
+            refresh_rejected = service.stats.rejected - rejected_before
+
+            answers = service.submit_many(probes, timeout=600.0)
+            identical = canonical_answers(answers) == new_reference_answers
+            overlap = _max_window_overlap(windows)
+            ok_probes = sum(1 for r in records if r["ok"])
+            result.update({
+                "refresh_seconds": refresh_seconds,
+                "refresh_windows": len(windows),
+                "probes_during_refresh": len(records),
+                "probe_errors": len(records) - ok_probes,
+                "refresh_availability": (ok_probes / len(records)
+                                         if records else 1.0),
+                "max_concurrent_refreshing": overlap,
+                "refresh_capacity_fraction": (
+                    1.0 if int(shards) == 1 or overlap <= 1
+                    else (int(shards) - overlap)
+                    / max(int(shards) - 1, 1)),
+                "refresh_rejected": refresh_rejected,
+                "baseline_probes": len(baseline_records),
+                "baseline_probe_errors": sum(
+                    1 for r in baseline_records if not r["ok"]),
+                "baseline_rejected": baseline_rejected,
+                "extra_rejections": refresh_rejected - baseline_rejected,
+                "identical": identical,
+                "rolling_refreshes": service.stats.rolling_refreshes,
+            })
+
+        if check_rollback:
+            # A separate fleet, a poisoned sweep: the subject on the
+            # highest-indexed populated shard fails, so every shard that
+            # upgraded before it must be downgraded back.
+            rollback_dir = tempfile.mkdtemp(prefix="rolling-rollback-")
+            try:
+                with ShardedQueryService(specs, store_path=rollback_dir,
+                                         **service_options) as victim:
+                    prime(victim)
+                    before = canonical_answers(
+                        victim.submit_many(probes, timeout=600.0))
+                    poison = max(sorted(specs),
+                                 key=lambda s: shard_of(s, int(shards)))
+                    bad_specs = dict(new_specs)
+                    bad_specs[poison] = {"system": "no-such-system",
+                                         "n_samples": int(new_n_samples)}
+                    failed = False
+                    try:
+                        victim.rolling_refresh(
+                            bad_specs, drain_timeout=float(drain_timeout))
+                    except RollingRefreshError:
+                        failed = True
+                    after = canonical_answers(
+                        victim.submit_many(probes, timeout=600.0))
+                    result.update({
+                        "rollback_refresh_failed": failed,
+                        "rollback_identical": failed and after == before,
+                        "refresh_rollbacks":
+                            victim.stats.refresh_rollbacks,
+                    })
+            finally:
+                shutil.rmtree(rollback_dir, ignore_errors=True)
+    finally:
+        if store_root is None:
+            shutil.rmtree(store_dir, ignore_errors=True)
+    return result
+
+
 @register_cell_kind(SERVICE_CELL)
 def _service_cell(spec: Mapping, seed: int) -> dict:
     """One campaign cell: one service-throughput measurement."""
@@ -531,12 +832,35 @@ def _cold_start_cell(spec: Mapping, seed: int) -> dict:
         batch_window=float(spec.get("batch_window", 0.002)))
 
 
+@register_cell_kind(ROLLING_REFRESH_CELL)
+def _rolling_refresh_cell(spec: Mapping, seed: int) -> dict:
+    """One campaign cell: one rolling-refresh availability measurement."""
+    return run_rolling_refresh(
+        spec["system"], spec.get("hardware"),
+        n_subjects=int(spec.get("n_subjects", 4)),
+        shards=int(spec.get("shards", 2)),
+        observation_rounds=int(spec.get("observation_rounds", 2)),
+        observations_per_round=int(spec.get("observations_per_round", 6)),
+        n_samples=int(spec.get("n_samples", 40)),
+        new_n_samples=int(spec.get("new_n_samples", 60)),
+        seed=seed,
+        probe_queries=int(spec.get("probe_queries", 24)),
+        baseline_window=float(spec.get("baseline_window", 0.25)),
+        poll_interval=float(spec.get("poll_interval", 0.0)),
+        use_processes=bool(spec.get("use_processes", True)),
+        store_root=spec.get("store_root"),
+        batch_window=float(spec.get("batch_window", 0.002)),
+        drain_timeout=float(spec.get("drain_timeout", 120.0)),
+        check_rollback=bool(spec.get("check_rollback", True)))
+
+
 def service_campaign_cells(scenarios: Sequence[Mapping]) -> list[CampaignCell]:
     """One cell per serving scenario (dicts of
     :func:`run_service_throughput` kwargs — or, with ``"shards"`` in the
-    scenario, of :func:`run_sharded_service_throughput` kwargs, or, with
-    ``"cold_start": True``, of :func:`run_cold_start_recovery` kwargs;
-    ``system`` is mandatory).
+    scenario, of :func:`run_sharded_service_throughput` kwargs, with
+    ``"cold_start": True``, of :func:`run_cold_start_recovery` kwargs, or,
+    with ``"rolling_refresh": True``, of :func:`run_rolling_refresh`
+    kwargs; ``system`` is mandatory).
 
     Raises
     ------
@@ -548,7 +872,9 @@ def service_campaign_cells(scenarios: Sequence[Mapping]) -> list[CampaignCell]:
         spec = dict(scenario)
         if "system" not in spec:
             raise ValueError(f"service scenario needs 'system': {spec}")
-        if spec.pop("cold_start", False):
+        if spec.pop("rolling_refresh", False):
+            kind = ROLLING_REFRESH_CELL
+        elif spec.pop("cold_start", False):
             kind = COLD_START_CELL
         elif "shards" in spec:
             kind = SHARDED_SERVICE_CELL

@@ -50,6 +50,7 @@ from repro.service.registry import (
     unicorn_from_spec,
 )
 from repro.service.sharding import (
+    RollingRefreshError,
     ShardedQueryService,
     ShardedServiceStats,
     registry_from_specs,
@@ -104,6 +105,7 @@ __all__ = [
     "RepairRequest",
     "RequestBatcher",
     "ResultCache",
+    "RollingRefreshError",
     "SatisfactionRequest",
     "ServiceClosedError",
     "ServiceKind",

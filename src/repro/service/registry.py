@@ -522,6 +522,34 @@ class ModelRegistry:
             self._publish_entry(entry, covered_op_id=0)
         return self._insert(subject, entry)
 
+    def upgrade_spec(self, subject: str,
+                     spec: Mapping[str, object]) -> ModelEntry:
+        """Fit a subject from a spec *fresh*, never restoring from the store.
+
+        The rolling-refresh sibling of :meth:`register_spec`: a model
+        upgrade must produce exactly the entry a cold fleet fitted
+        directly on the new spec would hold — version 0, no inherited
+        observation history — so the store is only *written* (the base
+        snapshot publishes under the new ``(subject, spec)`` key), never
+        read.  Restoring here would resurrect whatever an earlier
+        generation (or a previously rolled-back upgrade attempt) left
+        under the same key and break the byte-identity contract.
+
+        Parameters
+        ----------
+        subject:
+            Registry key the upgraded entry will be addressed by; an
+            existing resident entry under this name is replaced.
+        spec:
+            The new subject description; see :meth:`get_or_fit`.
+        """
+        key = subject_key(subject, spec)
+        unicorn = unicorn_from_spec(spec, use_batched=self.use_batched)
+        entry = ModelEntry(subject, unicorn, unicorn.fit())
+        self._bind_store(entry, spec, store_key=key)
+        self._publish_entry(entry, covered_op_id=0)
+        return self._insert(subject, entry)
+
     # ----------------------------------------------------------- persistence
     def _bind_store(self, entry: ModelEntry, spec: Mapping[str, object],
                     store_key: str) -> None:
@@ -650,6 +678,20 @@ class ModelRegistry:
         with self._lock:
             entry = self._entries.get(subject)
         return 0 if entry is None else int(entry.snapshot_op_id)
+
+    def snapshot_watermarks(self) -> dict[str, int]:
+        """Every resident subject's positive snapshot watermark.
+
+        The payload quiesce/flush acknowledgements carry back to the
+        sharded parent: one compaction bound per subject, so journals of
+        subjects that went *quiet* (no further live observes to piggyback
+        a watermark on) still shrink at the next barrier instead of
+        retaining their stale suffix forever.
+        """
+        with self._lock:
+            return {subject: int(entry.snapshot_op_id)
+                    for subject, entry in self._entries.items()
+                    if entry.snapshot_op_id > 0}
 
     # --------------------------------------------------------------- refresh
     def observe(self, subject: str,

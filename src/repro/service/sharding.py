@@ -68,7 +68,18 @@ from typing import Mapping, Sequence
 from repro.service.registry import ModelRegistry, UnknownSubjectError
 from repro.service.requests import QueryRequest, QueryResponse
 from repro.service.service import AdmissionError, ServiceClosedError
+from repro.service.store import ModelStore, subject_key
 from repro.service.worker import run_shard_server, run_shard_thread
+
+
+class RollingRefreshError(RuntimeError):
+    """A rolling refresh failed; the fleet was rolled back where possible.
+
+    Raised by :meth:`ShardedQueryService.rolling_refresh` after the
+    failing shard kept (or was restored to) its previous generation and
+    every shard upgraded earlier in the same sweep was downgraded back —
+    the fleet is serving the *old* model generation when this surfaces.
+    """
 
 
 def shard_of(subject: str, shards: int) -> int:
@@ -109,6 +120,11 @@ class ShardedServiceStats:
     answered: int = 0
     rejected: int = 0
     cancelled: int = 0
+    #: requests settled with a parent-synthesized *error* response —
+    #: requeue-budget exhaustion after repeated worker crashes, or a
+    #: worker reply that came back short.  These used to be folded into
+    #: ``answered`` as if they had succeeded; monitoring now sees them.
+    errors: int = 0
     #: dispatch batches resent to a respawned worker after a crash.
     requeues: int = 0
     #: workers respawned by the liveness monitor.
@@ -119,6 +135,12 @@ class ShardedServiceStats:
     dispatch_batches: int = 0
     #: journal entries dropped because a durable snapshot covered them.
     journal_ops_compacted: int = 0
+    #: fleet-wide :meth:`ShardedQueryService.rolling_refresh` sweeps that
+    #: completed (every shard now serves the new model generation).
+    rolling_refreshes: int = 0
+    #: shards downgraded back to their previous generation after a
+    #: failed rolling-refresh sweep.
+    refresh_rollbacks: int = 0
     per_shard_answered: dict = field(default_factory=dict)
 
 
@@ -174,6 +196,21 @@ class _Shard:
         #: work fast instead of queueing it for a worker that will never
         #: answer.
         self.failed = False
+        #: model generation of the currently installed worker, bumped at
+        #: every rolling-refresh queue swap.  The reader captures it with
+        #: the result queue and discards replies whose generation no
+        #: longer matches — a swapped-out worker's final messages (its
+        #: ``bye``, a late ack) must not be resolved against the new
+        #: generation's tracking.
+        self.generation = 0
+        #: sender gate: ``True`` while a rolling refresh drains/replaces
+        #: this shard's worker; submissions keep queueing on the outbox
+        #: and are sent when the new generation is admitted.
+        self.paused = False
+        #: ``True`` while a rolling refresh owns this shard's worker
+        #: lifecycle; the reader's liveness monitor must not respawn the
+        #: old generation out from under it.
+        self.refreshing = False
         self.sender: threading.Thread | None = None
         self.reader: threading.Thread | None = None
 
@@ -278,6 +315,8 @@ class ShardedQueryService:
                      if "fork" in mp.get_all_start_methods()
                      else mp.get_context("spawn"))
         self._lock = threading.Lock()
+        #: serializes whole rolling-refresh sweeps; one at a time.
+        self._refresh_lock = threading.Lock()
         self._closed = False
         self._n_unresolved = 0
         self._next_batch_id = 0
@@ -328,32 +367,24 @@ class ShardedQueryService:
                        capacity=self._registry_capacity(shard))
         shard.command_queue = self._ctx.Queue()
         shard.result_queue = self._ctx.Queue()
-        if self.use_processes:
-            shard.runner = self._ctx.Process(
-                target=run_shard_server,
-                args=(shard.index, shard.command_queue,
-                      shard.result_queue, options),
-                name=f"shard-worker-{shard.index}", daemon=True)
-        else:
-            shard.runner = threading.Thread(
-                target=run_shard_thread,
-                args=(shard.index, shard.command_queue,
-                      shard.result_queue, options),
-                name=f"shard-worker-{shard.index}", daemon=True)
-        shard.runner.start()
+        shard.runner = self._spawn_runner(shard.index, shard.command_queue,
+                                          shard.result_queue, options)
         for subject, spec in shard.subjects.items():
             shard.command_queue.put(("fit", subject, spec))
         deadline = time.monotonic() + self.start_timeout
         for _ in shard.subjects:
-            remaining = deadline - time.monotonic()
             try:
-                message = shard.result_queue.get(
-                    timeout=max(remaining, 0.001))
-            except queue_module.Empty:
-                raise TimeoutError(
-                    f"shard {shard.index} did not fit its subjects within "
-                    f"{self.start_timeout}s") from None
+                message = self._next_fit_reply(shard.index,
+                                               shard.result_queue,
+                                               shard.runner, deadline)
+            except BaseException:
+                # The worker outlives the failed start otherwise — a
+                # thread parked on the command queue until its EOF, a
+                # process serving nobody.
+                self._kill_runner(shard.runner, shard.command_queue)
+                raise
             if message[0] == "fit_error":
+                self._kill_runner(shard.runner, shard.command_queue)
                 raise RuntimeError(f"shard {shard.index} failed to fit "
                                    f"{message[1]!r}: {message[2]}")
             if message[0] == "fitted" and len(message) > 3:
@@ -364,6 +395,50 @@ class ShardedQueryService:
                 with self._lock:
                     self._next_op_id = max(self._next_op_id,
                                            int(message[3]))
+
+    def _spawn_runner(self, index: int, command_queue, result_queue,
+                      options: dict):
+        """Start one worker process/thread over the given queue pair."""
+        if self.use_processes:
+            runner = self._ctx.Process(
+                target=run_shard_server,
+                args=(index, command_queue, result_queue, options),
+                name=f"shard-worker-{index}", daemon=True)
+        else:
+            runner = threading.Thread(
+                target=run_shard_thread,
+                args=(index, command_queue, result_queue, options),
+                name=f"shard-worker-{index}", daemon=True)
+        runner.start()
+        return runner
+
+    def _next_fit_reply(self, index: int, result_queue, runner,
+                        deadline: float) -> tuple:
+        """Wait out one fit acknowledgement, in short polls.
+
+        Polling (instead of one long blocking ``get``) is what lets
+        :meth:`close` interrupt a reader thread stuck refitting inside
+        :meth:`_respawn` — shutdown no longer waits out the full
+        ``start_timeout`` against a half-restored worker — and lets the
+        rolling-refresh path notice an upgrade worker that died mid-fit.
+        """
+        while True:
+            if self._closed:
+                raise ServiceClosedError(
+                    f"service closed while shard {index} was fitting "
+                    "its subjects")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"shard {index} did not fit its subjects within "
+                    f"{self.start_timeout}s") from None
+            try:
+                return result_queue.get(timeout=min(remaining, 0.1))
+            except queue_module.Empty:
+                if runner is not None and not runner.is_alive():
+                    raise RuntimeError(
+                        f"shard {index} worker died before finishing "
+                        "its fits") from None
 
     # ------------------------------------------------------------- submission
     def _route(self, request: QueryRequest) -> _Shard:
@@ -514,7 +589,8 @@ class ShardedQueryService:
         return future
 
     def quiesce(self, timeout: float | None = 60.0) -> None:
-        """Barrier: wait until every shard has processed all prior work.
+        """Barrier: wait until every healthy shard has processed all
+        prior work.
 
         Because each shard's outbox and command queue are FIFO, the reply
         to a quiesce op proves every dispatch and observe submitted
@@ -522,16 +598,78 @@ class ShardedQueryService:
         registry's background drift refreshes before replying.  Call
         between observation and query phases to make an asynchronously
         refreshing service deterministic.
+
+        A permanently *failed* shard is skipped (its work was already
+        settled with errors when it failed): one dead shard must not
+        turn the whole fleet's barrier into an exception while the
+        healthy N-1 shards are still serving.  Only a closed *service*
+        raises :class:`ServiceClosedError`.
         """
-        futures = [self._control(shard, "quiesce")
+        futures = [(shard, None if shard.failed
+                    else self._control(shard, "quiesce"))
                    for shard in self._shards]
-        for future in futures:
-            future.result(timeout=timeout)
+        for shard, future in futures:
+            if future is None:
+                continue
+            try:
+                future.result(timeout=timeout)
+            except ServiceClosedError:
+                if self._closed:
+                    raise
+                # The shard failed between enqueue and reply; the
+                # healthy shards still quiesced.
 
     def worker_stats(self, timeout: float | None = 60.0) -> list[dict]:
-        """Fetch each worker's serving counters (one dict per shard)."""
-        futures = [self._control(shard, "stats") for shard in self._shards]
-        return [future.result(timeout=timeout) for future in futures]
+        """Fetch each worker's serving counters (one dict per shard).
+
+        A permanently failed shard reports ``{"shard": i, "failed":
+        True}`` instead of poisoning the whole call — monitoring keeps
+        seeing the healthy N-1 shards.  Only a closed *service* raises
+        :class:`ServiceClosedError`.
+        """
+        failed_stub = {"failed": True}
+        futures = [(shard, None if shard.failed
+                    else self._control(shard, "stats"))
+                   for shard in self._shards]
+        payloads = []
+        for shard, future in futures:
+            if future is None:
+                payloads.append(dict(failed_stub, shard=shard.index))
+                continue
+            try:
+                payloads.append(future.result(timeout=timeout))
+            except ServiceClosedError:
+                if self._closed:
+                    raise
+                payloads.append(dict(failed_stub, shard=shard.index))
+        return payloads
+
+    def flush(self, timeout: float | None = 60.0) -> int:
+        """Make every shard's registry durable; returns snapshots written.
+
+        Rides each healthy shard's FIFO outbox like :meth:`quiesce`, so
+        it is a barrier *and* a durability point: when it returns, every
+        previously submitted command has been processed and every
+        worker-resident entry that advanced past its last snapshot has
+        published to the model store (no-op without a ``store_path``).
+        Each acknowledgement carries the worker's per-subject snapshot
+        watermarks and the parent compacts its crash-replay journal up
+        to them — this is how journals of *quiet* subjects (no further
+        live observes to carry a watermark) finally shrink.
+        """
+        futures = [(shard, None if shard.failed
+                    else self._control(shard, "flush"))
+                   for shard in self._shards]
+        published = 0
+        for shard, future in futures:
+            if future is None:
+                continue
+            try:
+                published += int(future.result(timeout=timeout))
+            except ServiceClosedError:
+                if self._closed:
+                    raise
+        return published
 
     def close(self, timeout: float | None = 30.0) -> None:
         """Drain admitted work, stop every worker, settle every future.
@@ -549,6 +687,10 @@ class ShardedQueryService:
         for shard in self._shards:
             op = _ControlOp(verb="shutdown", op_id=0)
             with shard.cv:
+                # A sender paused by an in-flight rolling refresh must
+                # still drain the shutdown; the refresh itself aborts at
+                # its next closed-service check.
+                shard.paused = False
                 shard.outbox.append(op)
                 shard.cv.notify_all()
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -591,12 +733,17 @@ class ShardedQueryService:
     # ------------------------------------------------------------- resolution
     def _settle(self, pending: _Pending,
                 response: QueryResponse | None = None,
-                exception: BaseException | None = None) -> None:
+                exception: BaseException | None = None,
+                synthesized_error: bool = False) -> None:
         """Resolve one pending future exactly once, tolerating cancellation.
 
         Counter updates happen under the service lock — settlement runs
         on every shard's reader thread concurrently, and unsynchronized
-        ``+=`` would lose increments.
+        ``+=`` would lose increments.  ``synthesized_error`` marks a
+        response the *parent* fabricated because no worker answer exists
+        (requeue budget exhausted, short reply): it counts in
+        ``stats.errors``, not ``stats.answered`` — an error settlement is
+        not a served answer.
         """
         if not pending.future.set_running_or_notify_cancel():
             with self._lock:
@@ -612,7 +759,10 @@ class ShardedQueryService:
             return
         with self._lock:
             self._n_unresolved -= 1
-            self.stats.answered += 1
+            if synthesized_error:
+                self.stats.errors += 1
+            else:
+                self.stats.answered += 1
         pending.future.set_result(response)
 
     # ----------------------------------------------------------------- sender
@@ -620,7 +770,7 @@ class ShardedQueryService:
         """Per-shard sender: wait, window, drain the outbox, send batches."""
         while True:
             with shard.cv:
-                while not shard.outbox:
+                while not shard.outbox or shard.paused:
                     shard.cv.wait()
             if self.batch_window > 0:
                 time.sleep(self.batch_window)
@@ -650,7 +800,7 @@ class ShardedQueryService:
             return any(not isinstance(item, _Pending)
                        and item.verb == "shutdown" for item in drained)
         pending_run: list[_Pending] = []
-        for item in drained:
+        for position, item in enumerate(drained):
             if isinstance(item, _Pending):
                 pending_run.append(item)
                 continue
@@ -660,6 +810,28 @@ class ShardedQueryService:
                 with shard.lock:
                     shard.command_queue.put(("shutdown",))
                 return True
+            if item.verb == "pause":
+                # The rolling-refresh barrier: everything enqueued before
+                # this op has been sent (the worker will drain it in
+                # order); everything after it returns to the outbox front
+                # and waits out the pause.  Resolving the future tells
+                # the refresh thread the send-side is quiet.  A cancelled
+                # future marks a pause whose refresh already timed out and
+                # gave up — honouring it would park the shard with nobody
+                # left to unpause it; the check happens under the cv, the
+                # same lock the abandoning refresh cancels under.
+                with shard.cv:
+                    abandoned = (item.future is not None
+                                 and item.future.cancelled())
+                    if not abandoned:
+                        shard.paused = True
+                        for leftover in reversed(drained[position + 1:]):
+                            shard.outbox.appendleft(leftover)
+                if abandoned:
+                    continue
+                if item.future is not None and not item.future.done():
+                    item.future.set_result(None)
+                return False
             self._send_control(shard, item)
         self._send_dispatch(shard, pending_run)
         return False
@@ -712,6 +884,7 @@ class ShardedQueryService:
         while True:
             with shard.lock:
                 result_queue = shard.result_queue
+                generation = shard.generation
             try:
                 message = result_queue.get(timeout=0.1)
             except queue_module.Empty:
@@ -719,16 +892,36 @@ class ShardedQueryService:
                     continue
                 if self._closed:
                     return
+                if shard.refreshing:
+                    # A rolling refresh owns this shard's lifecycle: the
+                    # old worker is *expected* to exit and the refresh
+                    # thread installs (or rolls back to) the next worker
+                    # itself — respawning the old generation here would
+                    # fight it.
+                    continue
                 try:
                     self._respawn(shard)
                 except Exception:  # noqa: BLE001 - a shard that cannot be
                     # revived (fit failure, startup timeout) must fail its
                     # clients deterministically, not hang them: flag it
                     # first so routing and the sender reject new work,
-                    # then settle everything already tracked.
-                    shard.failed = True
+                    # then settle everything already tracked.  A respawn
+                    # aborted because close() raced it is not a shard
+                    # failure — the service is going away; just settle.
+                    if not self._closed:
+                        shard.failed = True
                     self._settle_shard_closed(shard)
                     return
+                continue
+            with shard.lock:
+                stale = shard.generation != generation
+            if stale:
+                # A reply from a swapped-out model generation (e.g. the
+                # old worker's final "bye" after a rolling refresh, or a
+                # late ack queued before the swap).  The drain barrier
+                # guarantees nothing of value is in it; resolving it
+                # against the new generation's tracking would mis-settle
+                # fresh work, so it is discarded.
                 continue
             verb = message[0]
             if verb == "bye":
@@ -738,7 +931,9 @@ class ShardedQueryService:
             elif verb == "observed":
                 self._resolve_observed(shard, message)
             elif verb == "quiesced":
-                self._resolve_control(shard, message[1], None)
+                self._resolve_quiesced(shard, message)
+            elif verb == "flushed":
+                self._resolve_flushed(shard, message)
             elif verb == "stats":
                 self._resolve_control(shard, message[1], message[2])
             elif verb == "observe_error":
@@ -761,7 +956,8 @@ class ShardedQueryService:
             self._settle(pending, QueryResponse(
                 request=pending.request, subject=pending.request.subject,
                 model_version=-1, value=None,
-                error="worker returned too few responses"))
+                error="worker returned too few responses"),
+                synthesized_error=True)
         with self._lock:
             answered = self.stats.per_shard_answered
             answered[shard.index] = answered.get(shard.index, 0) \
@@ -804,6 +1000,38 @@ class ShardedQueryService:
             with self._lock:
                 self.stats.journal_ops_compacted += dropped
 
+    def _resolve_quiesced(self, shard: _Shard, message: tuple) -> None:
+        """Resolve a quiesce barrier, compacting from its watermarks.
+
+        The reply carries the worker registry's full per-subject
+        snapshot-watermark map, which closes the quiet-subject gap of
+        per-observe compaction: a subject whose stream stopped right
+        after a snapshot never sees another ``observed`` ack, so before
+        this its stale journal suffix survived forever.  Any barrier —
+        an explicit :meth:`quiesce`, the per-round quiesce of a serving
+        loop — now compacts every subject it covers.
+        """
+        with shard.lock:
+            op = shard.control.pop(message[1], None)
+            if len(message) > 2:
+                for subject, watermark in dict(message[2]).items():
+                    self._compact_journal_locked(shard, str(subject),
+                                                 int(watermark))
+        if op is not None and op.future is not None \
+                and not op.future.done():
+            op.future.set_result(None)
+
+    def _resolve_flushed(self, shard: _Shard, message: tuple) -> None:
+        """Resolve a flush ack (snapshots-published count + watermarks)."""
+        with shard.lock:
+            op = shard.control.pop(message[1], None)
+            for subject, watermark in dict(message[3]).items():
+                self._compact_journal_locked(shard, str(subject),
+                                             int(watermark))
+        if op is not None and op.future is not None \
+                and not op.future.done():
+            op.future.set_result(int(message[2]))
+
     def _resolve_control(self, shard: _Shard, op_id: int, value) -> None:
         with shard.lock:
             op = shard.control.pop(op_id, None)
@@ -839,6 +1067,12 @@ class ShardedQueryService:
         times, after which their futures resolve with error responses so
         a poison batch cannot respawn-loop the shard forever.
         """
+        if self._closed:
+            # close() raced the liveness monitor: a respawn would refit
+            # under the full start_timeout on a service that is being
+            # torn down — abort early; the reader settles what remains.
+            raise ServiceClosedError(
+                f"service closed; shard {shard.index} will not respawn")
         with self._lock:
             self.stats.respawns += 1
         exhausted: list[tuple[int, list[_Pending]]] = []
@@ -869,6 +1103,16 @@ class ShardedQueryService:
                 shard.command_queue.put(
                     ("dispatch", batch_id,
                      [p.request for p in pendings]))
+            # Pending *non-observe* control ops (a quiesce, stats probe
+            # or flush the dead worker swallowed) are re-sent too, in op
+            # order — journaled observes already went back with the
+            # replay above, but without this a caller blocked on a
+            # barrier future would hang forever (and a rolling refresh
+            # whose drain the crash interrupted could never finish).
+            for op_id in sorted(shard.control):
+                op = shard.control[op_id]
+                if op.verb != "observe":
+                    shard.command_queue.put((op.verb, op_id))
         for batch_id, pendings in exhausted:
             for pending in pendings:
                 self._settle(pending, QueryResponse(
@@ -877,4 +1121,293 @@ class ShardedQueryService:
                     value=None,
                     error=f"batch {batch_id} requeued more than "
                           f"{self.max_requeues} times across worker "
-                          "crashes"))
+                          "crashes"),
+                    synthesized_error=True)
+
+    # -------------------------------------------------------- rolling refresh
+    def rolling_refresh(self, new_specs: Mapping[str, Mapping],
+                        drain_timeout: float | None = 120.0) -> list[dict]:
+        """Upgrade the fleet onto new subject specs, one shard at a time.
+
+        For each shard in turn: the sender is parked behind a ``pause``
+        barrier (submissions keep queueing on the outbox), the worker
+        drains everything already handed to it and flushes its registry
+        to the model store (durable snapshots + acknowledged watermarks,
+        which also compact the shard's crash-replay journal), a
+        *replacement* worker is fitted fresh on the new specs
+        (make-before-break: the old worker keeps its state until the new
+        one is ready), and the queues are swapped atomically under a
+        bumped generation tag — the old worker's final replies are
+        discarded as stale instead of mis-resolved.  The other N-1
+        shards serve continuously throughout; queries to the refreshing
+        shard queue and are answered by the new generation, so the
+        upgrade costs latency on one shard at a time, never availability
+        or admissions.
+
+        An upgraded subject serves exactly the model a cold fleet fitted
+        directly on its new spec would (version 0, fresh fit — the store
+        is never *read* for an upgrade), so post-refresh answers are
+        byte-identical to that cold fleet's.  The pre-upgrade state
+        stays in the store under the old ``(subject, spec)`` keys.
+
+        If any shard's new generation fails to fit (bad spec, dead
+        worker, timeout), that shard keeps serving its current
+        generation, the failed generation's store publishes are rolled
+        back (:meth:`ModelStore.rollback` to the recorded prior version,
+        or discarded for brand-new keys), every shard upgraded earlier
+        in the sweep is downgraded the same way — its worker restored
+        from the flushed pre-upgrade snapshots, byte-identically — and
+        :class:`RollingRefreshError` is raised.
+
+        Parameters
+        ----------
+        new_specs:
+            ``subject -> spec`` for **every** routed subject (subjects
+            cannot be added or removed mid-flight; routing is fixed at
+            construction).  Unchanged specs are refitted fresh too — the
+            whole fleet lands on one generation.
+        drain_timeout:
+            Seconds to wait for each shard's pause and flush barriers;
+            the new generation's fits use ``start_timeout`` as usual.
+
+        Returns
+        -------
+        list of dict
+            One ``{"shard", "subjects", "started", "finished"}`` record
+            per shard in upgrade order — ``time.monotonic`` bounds of
+            the window in which that shard was the one refreshing (the
+            capacity gate of the rolling-refresh benchmark checks these
+            windows never overlap).
+
+        Raises
+        ------
+        ValueError
+            If no ``store_path`` is configured (the drain state must be
+            flushed somewhere durable and rollback needs snapshots), or
+            ``new_specs`` does not cover exactly the routed subjects.
+        RollingRefreshError
+            If an upgrade failed; the fleet serves the old generation.
+        ServiceClosedError
+            If the service is closed.
+        """
+        if self.store_path is None:
+            raise ValueError(
+                "rolling_refresh needs a persistent model store "
+                "(store_path=...): each shard's pre-upgrade state is "
+                "flushed to it and failed upgrades roll back from it")
+        new_specs = {str(subject): dict(spec)
+                     for subject, spec in new_specs.items()}
+        if set(new_specs) != set(self._subject_shard):
+            raise ValueError(
+                "new_specs must cover exactly the routed subjects; "
+                f"missing {sorted(set(self._subject_shard) - set(new_specs))},"
+                f" unknown {sorted(set(new_specs) - set(self._subject_shard))}")
+        with self._refresh_lock:
+            if self._closed:
+                raise ServiceClosedError("sharded service is closed")
+            for shard in self._shards:
+                if shard.failed:
+                    raise RollingRefreshError(
+                        f"shard {shard.index} failed permanently; it "
+                        "cannot be drained for a rolling refresh")
+            old_specs = {
+                shard.index: {subject: dict(spec) for subject, spec
+                              in shard.subjects.items()}
+                for shard in self._shards}
+            upgraded: list[tuple[_Shard, dict]] = []
+            windows: list[dict] = []
+            shard = self._shards[0]
+            try:
+                for shard in self._shards:
+                    started = time.monotonic()
+                    prior = self._refresh_shard(
+                        shard,
+                        {subject: new_specs[subject]
+                         for subject in shard.subjects},
+                        drain_timeout=drain_timeout)
+                    upgraded.append((shard, prior))
+                    windows.append({"shard": shard.index,
+                                    "subjects": sorted(shard.subjects),
+                                    "started": started,
+                                    "finished": time.monotonic()})
+            except BaseException as exc:
+                rolled_back = self._rollback_upgraded(
+                    upgraded, old_specs, drain_timeout)
+                raise RollingRefreshError(
+                    f"rolling refresh failed at shard {shard.index} "
+                    f"({exc}); {rolled_back} of {len(upgraded)} "
+                    "previously upgraded shard(s) rolled back to the "
+                    "prior generation") from exc
+            with self._lock:
+                self.stats.rolling_refreshes += 1
+            return windows
+
+    def _rollback_upgraded(self, upgraded: list, old_specs: dict,
+                           drain_timeout: float | None) -> int:
+        """Downgrade already-upgraded shards after a failed sweep.
+
+        Reverse upgrade order; each shard's published new-generation
+        store keys are rolled back and its worker is replaced by one
+        *restored* from the old keys' flushed snapshots (``fit``, not
+        ``upgrade`` — restoring IS the point: the pre-refresh model
+        state comes back byte-identically, folded observations
+        included).  A shard whose downgrade itself fails keeps serving
+        the new generation rather than being killed — a mixed-generation
+        fleet beats a dead shard; the count of successful downgrades is
+        returned and surfaced in the :class:`RollingRefreshError`.
+        """
+        rolled_back = 0
+        for shard, prior in reversed(upgraded):
+            if self._closed:
+                break
+            try:
+                self._refresh_shard(shard, old_specs[shard.index],
+                                    drain_timeout=drain_timeout,
+                                    restore=prior)
+            except Exception:  # noqa: BLE001 - keep downgrading the rest
+                continue
+            rolled_back += 1
+            with self._lock:
+                self.stats.refresh_rollbacks += 1
+        return rolled_back
+
+    def _refresh_shard(self, shard: _Shard, subjects: Mapping[str, Mapping],
+                       *, drain_timeout: float | None,
+                       restore: dict | None = None) -> dict:
+        """Drain one shard and swap its worker onto ``subjects``.
+
+        The make-before-break unit both directions share — *upgrade*
+        (``restore=None``: fresh ``upgrade`` fits, record prior store
+        versions, roll them back on failure) and *downgrade*
+        (``restore={key: prior_version_or_None}``: flip the store back
+        first, then ``fit`` so the worker restores the pre-upgrade
+        snapshots).  Returns the prior-version map an upgrade recorded
+        (empty for downgrades).  On failure the shard's current worker
+        is left serving untouched and the half-built replacement is
+        killed.
+        """
+        subjects = {str(subject): dict(spec)
+                    for subject, spec in subjects.items()}
+        # 1. Park the sender behind the FIFO barrier: everything enqueued
+        # before the pause has been handed to the worker when it resolves;
+        # everything after waits on the outbox.
+        pause = self._control(shard, "pause")
+        try:
+            pause.result(timeout=drain_timeout)
+        except TimeoutError:
+            with shard.cv:
+                # Cancel under the cv so a late-draining sender sees the
+                # abandoned op and skips it instead of parking forever.
+                pause.cancel()
+                shard.paused = False
+                shard.cv.notify_all()
+            raise TimeoutError(
+                f"shard {shard.index} sender did not reach the pause "
+                f"barrier within {drain_timeout}s") from None
+        try:
+            # 2. Drain + durability point.  The worker answers the
+            # barrier only after every previously sent dispatch/observe;
+            # "flush" additionally publishes every advanced entry and
+            # compacts the journal from the acknowledged watermarks.  A
+            # worker crash mid-drain is survivable: the liveness monitor
+            # respawns it (``refreshing`` is still False) and re-sends
+            # this very barrier op along with the journal replay.
+            barrier = self._direct_control(
+                shard, "quiesce" if restore is not None else "flush")
+            barrier.result(timeout=drain_timeout)
+            shard.refreshing = True
+            prior: dict[str, int | None] = {}
+            store = ModelStore(self.store_path)
+            if restore is not None:
+                # Store pointers first: the restored worker must load the
+                # *pre-upgrade* snapshots, so any key the failed sweep
+                # republished flips back (or vanishes) before the fits.
+                for key, version in restore.items():
+                    if version is None:
+                        store.discard(key)
+                    else:
+                        store.rollback(key, to_version=version)
+            else:
+                for subject, spec in subjects.items():
+                    key = subject_key(subject, spec)
+                    prior[key] = store.latest_version(key)
+            # 3. Make before break: fit the replacement on private queues
+            # while the old worker keeps its (flushed) state.
+            options = dict(self._registry_options,
+                           capacity=max(len(subjects), 1))
+            command_queue = self._ctx.Queue()
+            result_queue = self._ctx.Queue()
+            runner = self._spawn_runner(shard.index, command_queue,
+                                        result_queue, options)
+            try:
+                verb = "fit" if restore is not None else "upgrade"
+                for subject, spec in subjects.items():
+                    command_queue.put((verb, subject, spec))
+                deadline = time.monotonic() + self.start_timeout
+                for _ in subjects:
+                    message = self._next_fit_reply(
+                        shard.index, result_queue, runner, deadline)
+                    if message[0] == "fit_error":
+                        raise RuntimeError(
+                            f"shard {shard.index} failed to fit "
+                            f"{message[1]!r}: {message[2]}")
+            except BaseException:
+                self._kill_runner(runner, command_queue)
+                for key, version in prior.items():
+                    if version is None:
+                        store.discard(key)
+                    else:
+                        store.rollback(key, to_version=version)
+                raise
+            # 4. Atomic swap under the shard lock: new generation in, old
+            # worker's journal out (its entries must never replay into
+            # the new model), shutdown to the old command queue.  The
+            # bumped generation makes the old worker's final replies
+            # (its "bye") stale noise to the reader.
+            with shard.lock:
+                old_command = shard.command_queue
+                old_runner = shard.runner
+                shard.command_queue = command_queue
+                shard.result_queue = result_queue
+                shard.runner = runner
+                shard.generation += 1
+                shard.subjects = subjects
+                shard.journal.clear()
+                old_command.put(("shutdown",))
+            if self.use_processes and old_runner is not None:
+                old_runner.join(timeout=10.0)
+            return prior
+        finally:
+            # 5. Re-admit: whatever queued during the swap flows to the
+            # current worker — the new generation on success, the intact
+            # old one on failure.
+            shard.refreshing = False
+            with shard.cv:
+                shard.paused = False
+                shard.cv.notify_all()
+
+    def _direct_control(self, shard: _Shard, verb: str) -> Future:
+        """Register + send one control op directly (the sender is paused)."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("sharded service is closed")
+            self._next_op_id += 1
+            op = _ControlOp(verb=verb, op_id=self._next_op_id,
+                            future=Future())
+        with shard.lock:
+            shard.control[op.op_id] = op
+            shard.command_queue.put((verb, op.op_id))
+        return op.future
+
+    def _kill_runner(self, runner, command_queue) -> None:
+        """Stop a half-built replacement worker that will not be admitted."""
+        if runner is None:
+            return
+        if self.use_processes:
+            runner.terminate()
+            runner.join(timeout=5.0)
+        else:
+            # A thread cannot be terminated; ask it to exit.  Its
+            # registry holds only freshly fitted entries, so the
+            # shutdown flush publishes nothing new.
+            command_queue.put(("shutdown",))

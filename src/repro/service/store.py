@@ -300,15 +300,28 @@ class ModelStore:
         return doc
 
     # -------------------------------------------------------------- rollback
-    def rollback(self, key: str) -> int | None:
-        """Flip ``LATEST`` back to the newest retained older version.
+    def rollback(self, key: str, to_version: int | None = None) -> int | None:
+        """Flip ``LATEST`` back to an older retained version.
 
-        Returns the version now live, or ``None`` when there is nothing
-        older to roll back to (the pointer is left untouched).
+        With ``to_version=None`` the pointer moves to the newest retained
+        version *older* than the current one.  An explicit ``to_version``
+        restores that exact retained version — the rolling-refresh path
+        uses it to undo a model upgrade that published *lower-numbered*
+        snapshots under the same key (a fresh generation restarts at
+        version 0, so "newest older than current" would not find the
+        pre-upgrade state).
+
+        Returns the version now live, or ``None`` when the requested
+        target does not exist (the pointer is left untouched).
         """
         current = self.latest_version(key)
         if current is None:
             return None
+        if to_version is not None:
+            if int(to_version) not in self.versions(key):
+                return None
+            self._point_latest(key, int(to_version))
+            return int(to_version)
         older = [v for v in self.versions(key) if v < current]
         if not older:
             return None

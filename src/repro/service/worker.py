@@ -21,15 +21,29 @@ The command protocol (first tuple element is the verb)::
 
     ("fit", subject, spec)            -> ("fitted", subject, n_measurements,
                                           applied_op_id)
+    ("upgrade", subject, spec)        -> same reply shape as "fit", but the
+                                         model is always fitted fresh from
+                                         the spec (never restored from the
+                                         store) — the rolling-refresh path
     ("dispatch", batch_id, requests)  -> ("answers", batch_id, responses)
     ("observe", op_id, subject, ms)   -> ("observed", op_id, version,
                                           snapshot_op)
-    ("quiesce", op_id)                -> ("quiesced", op_id)
+    ("quiesce", op_id)                -> ("quiesced", op_id,
+                                          {subject: snapshot_op})
+    ("flush", op_id)                  -> ("flushed", op_id, n_published,
+                                          {subject: snapshot_op}) after
+                                         registry.flush() made every entry
+                                         durable
     ("sync",)                         -> no reply; joins pending refreshes
     ("stats", op_id)                  -> ("stats", op_id, payload)
     ("crash",)                        -> no reply; the worker dies abruptly
     ("shutdown",)                     -> ("bye",) after flushing final
                                          snapshots, then the loop returns
+
+Quiesce and flush replies carry the registry's per-subject snapshot
+watermarks, so the parent can compact its crash-replay journal even for
+subjects that went quiet (no further live observes to ride a watermark
+on).
 
 Failures are replies, not silence: a fit error answers ``("fit_error",
 subject, message)`` and an observe error ``("observe_error", op_id,
@@ -112,13 +126,25 @@ class ShardServer:
                     f"shard {self.shard_index} crash injected")
             if verb == "fit":
                 self._handle_fit(command[1], command[2])
+            elif verb == "upgrade":
+                self._handle_fit(command[1], command[2], fresh=True)
             elif verb == "dispatch":
                 self._handle_dispatch(command[1], command[2])
             elif verb == "observe":
                 self._handle_observe(command[1], command[2], command[3])
             elif verb == "quiesce":
                 self.registry.quiesce()
-                self.results.put(("quiesced", command[1]))
+                self.results.put(("quiesced", command[1],
+                                  self.registry.snapshot_watermarks()))
+            elif verb == "flush":
+                # Drain barrier + durability point: every entry's buffered
+                # observations fold and publish, so after the reply the
+                # store alone reproduces this worker's model state (the
+                # hand-off a rolling refresh restores or rolls back from).
+                self.registry.quiesce()
+                published = self.registry.flush()
+                self.results.put(("flushed", command[1], published,
+                                  self.registry.snapshot_watermarks()))
             elif verb == "sync":
                 # Reply-free barrier: join background refreshes so the
                 # next command runs against the settled model state (the
@@ -132,9 +158,13 @@ class ShardServer:
                                   f"unknown verb {verb!r}"))
 
     # -------------------------------------------------------------- handlers
-    def _handle_fit(self, subject: str, spec: Mapping[str, object]) -> None:
+    def _handle_fit(self, subject: str, spec: Mapping[str, object],
+                    fresh: bool = False) -> None:
         try:
-            entry = self.registry.register_spec(subject, spec)
+            if fresh:
+                entry = self.registry.upgrade_spec(subject, spec)
+            else:
+                entry = self.registry.register_spec(subject, spec)
             # The restored watermark rides on the ack: a parent starting a
             # fresh service over an already-populated store advances its
             # op-id counter past it, so new observes are never mistaken

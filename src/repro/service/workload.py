@@ -344,6 +344,85 @@ def serve_rounds(service, rounds: Sequence[Mapping], n_clients: int
     return responses, time.perf_counter() - started
 
 
+def refresh_under_traffic(service, new_specs: Mapping[str, Mapping],
+                          probes: Mapping[str, QueryRequest],
+                          drain_timeout: float | None = 120.0,
+                          poll_interval: float = 0.0
+                          ) -> tuple[list[dict], list[dict]]:
+    """Roll a sharded fleet onto new specs while probe clients keep asking.
+
+    One prober thread per entry of ``probes`` submits its request in a
+    tight loop (every answer recorded with monotonic start/finish stamps)
+    while the calling thread runs
+    :meth:`~repro.service.sharding.ShardedQueryService.rolling_refresh`.
+    The two timelines share one clock, so correlating the probe records
+    against the returned per-shard refresh windows answers the
+    availability questions the rolling-refresh gate asks: did any probe
+    error or get rejected, and was at most one shard's window open at a
+    time (capacity never below N-1)?
+
+    Parameters
+    ----------
+    service:
+        A started :class:`~repro.service.sharding.ShardedQueryService`
+        with a ``store_path`` (rolling refresh requires one).
+    new_specs:
+        Forwarded to ``rolling_refresh`` — one spec per routed subject.
+    probes:
+        ``subject -> request`` probe traffic; one client thread each.
+    drain_timeout:
+        Forwarded to ``rolling_refresh`` and used as each probe's
+        ``submit`` timeout.
+    poll_interval:
+        Optional sleep between a probe's answer and its next submission
+        (0 = back-to-back).
+
+    Returns
+    -------
+    tuple
+        ``(windows, records)``: the refresh windows from
+        ``rolling_refresh`` and one ``{"subject", "started", "finished",
+        "ok", "error"}`` dict per answered probe.  A refresh failure
+        propagates *after* the probers have been joined.
+    """
+    records: list[dict] = []
+    lock = threading.Lock()
+    stop = threading.Event()
+    barrier = threading.Barrier(len(probes) + 1)
+
+    def prober(subject: str, request: QueryRequest) -> None:
+        barrier.wait()
+        while not stop.is_set():
+            entry = {"subject": subject, "started": time.monotonic()}
+            try:
+                response = service.submit(request, timeout=drain_timeout)
+                entry["ok"] = bool(response.ok)
+                entry["error"] = response.error
+            except BaseException as exc:  # noqa: BLE001 - recorded verdict
+                entry["ok"] = False
+                entry["error"] = f"{type(exc).__name__}: {exc}"
+            entry["finished"] = time.monotonic()
+            with lock:
+                records.append(entry)
+            if poll_interval:
+                time.sleep(poll_interval)
+
+    threads = [threading.Thread(target=prober, args=(subject, request),
+                                name=f"refresh-probe-{subject}")
+               for subject, request in sorted(probes.items())]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    try:
+        windows = service.rolling_refresh(new_specs,
+                                          drain_timeout=drain_timeout)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    return windows, records
+
+
 def canonical_answers(responses: Sequence) -> list[str]:
     """Canonical JSON rendering of each response's answer.
 

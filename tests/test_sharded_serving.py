@@ -25,6 +25,7 @@ Covers the contracts ISSUE 5 demands of the sharded tier:
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -218,8 +219,14 @@ def test_crash_requeue_budget_exhaustion_fails_deterministically():
         # worker; its futures resolve with an error response instead.
         assert not response.ok
         assert "requeued" in response.error
+        # The synthesized error settlement counts as an *error*, not as
+        # a served answer — monitoring must not see failures as success.
+        assert service.stats.errors == 1
+        answered_before = service.stats.answered
         # The shard itself recovered and keeps serving.
         assert service.submit(request, timeout=60).ok
+        assert service.stats.answered == answered_before + 1
+        assert service.stats.errors == 1
 
 
 def test_sharded_admission_unknown_subject_and_close_semantics():
@@ -417,6 +424,7 @@ def test_shard_server_protocol_replies_inline():
     commands.put(("observe", 1, "nope", []))                 # unknown subject
     commands.put(("sync",))
     commands.put(("quiesce", 2))
+    commands.put(("flush", 5))
     commands.put(("stats", 3))
     commands.put(("dispatch", 4, [
         EffectRequest.of("cache", "Throughput", {"CachePolicy": 0.0}),
@@ -430,7 +438,11 @@ def test_shard_server_protocol_replies_inline():
     assert results.get_nowait()[:2] == ("fit_error", "broken")
     verb, op_id, message = results.get_nowait()
     assert (verb, op_id) == ("observe_error", 1) and "nope" in message
-    assert results.get_nowait() == ("quiesced", 2)
+    # Quiesce and flush acks carry the registry's per-subject snapshot
+    # watermarks (empty without a store) so the parent can compact quiet
+    # subjects; flush also reports how many snapshots it published.
+    assert results.get_nowait() == ("quiesced", 2, {})
+    assert results.get_nowait() == ("flushed", 5, 0, {})
     verb, op_id, stats = results.get_nowait()
     assert (verb, op_id) == ("stats", 3)
     assert stats["subjects"] == ["cache"] and stats["shard"] == 0
@@ -504,3 +516,84 @@ def test_sharded_service_campaign_cell(tmp_path):
     # Resume: the completed cell replays from the artifact store.
     again = run_service_campaign(scenarios, root_seed=3, store=store)
     assert again == first
+
+
+# ------------------------------------------------- shard-lifecycle bugfixes
+def _fail_shard_zero(service):
+    """Poison shard 0's respawn spec and crash it → permanent failure."""
+    shard = service._shards[0]
+    subject = next(iter(shard.subjects))
+    shard.subjects[subject] = {"system": "no-such-system"}
+    service._inject_crash(0)
+    deadline = time.monotonic() + 60
+    while not shard.failed:
+        assert time.monotonic() < deadline, "shard never failed"
+        time.sleep(0.01)
+    return subject
+
+
+def test_failed_shard_degrades_monitoring_not_the_fleet():
+    """One dead shard must not blind worker_stats/quiesce for the rest."""
+    specs = {s: dict(SPECS[s]) for s in ("cache-0", "cache-1", "cache-2")}
+    by_shard = {s: shard_of(s, 2) for s in specs}
+    assert set(by_shard.values()) == {0, 1}, "need both shards populated"
+    with ShardedQueryService(specs, shards=2,
+                             use_processes=False) as service:
+        failed_subject = _fail_shard_zero(service)
+        # The barrier and the stats probe skip the failed shard instead
+        # of raising ServiceClosedError fleet-wide.
+        service.quiesce(timeout=60)
+        payloads = service.worker_stats(timeout=60)
+        assert len(payloads) == 2
+        assert payloads[0] == {"failed": True, "shard": 0}
+        assert payloads[1]["shard"] == 1 and "subjects" in payloads[1]
+        # Healthy subjects keep serving; the failed shard fails fast.
+        healthy = next(s for s, i in by_shard.items() if i == 1)
+        request = EffectRequest.of(healthy, "Throughput",
+                                   {"CachePolicy": 0.0})
+        assert service.submit(request, timeout=60).ok
+        with pytest.raises(ServiceClosedError):
+            service.submit(EffectRequest.of(failed_subject, "Throughput",
+                                            {"CachePolicy": 0.0}))
+
+
+def test_respawn_aborts_early_when_service_is_closing():
+    """A close() racing the liveness monitor must not wait out a refit."""
+    specs = {"cache-a": dict(SPECS["cache-0"])}
+    with ShardedQueryService(specs, shards=1,
+                             use_processes=False) as service:
+        shard = service._shards[0]
+        service._closed = True
+        with pytest.raises(ServiceClosedError):
+            service._respawn(shard)
+        # No replacement worker was started and no respawn was counted.
+        assert service.stats.respawns == 0
+        service._closed = False  # let the fixture close() run normally
+
+
+def test_flush_compacts_quiet_subject_journals(tmp_path):
+    """Watermarks on flush acks shrink journals of quiet subjects."""
+    system = make_cache_example()
+    rng = np.random.default_rng(11)
+    fresh = system.measure_many(system.space.sample_configurations(4, rng),
+                                rng=rng)
+    specs = {"cache-a": dict(SPECS["cache-0"])}
+    with ShardedQueryService(specs, shards=1, use_processes=False,
+                             store_path=str(tmp_path / "store"),
+                             snapshot_every=8) as service:
+        shard = service._shards[0]
+        # Two observes fold eagerly but stay below the snapshot cadence:
+        # no publish, no watermark, so per-observe compaction never
+        # fires and the journal retains both entries...
+        service.observe("cache-a", fresh)
+        service.observe("cache-a", _shift(fresh, 1.1))
+        with shard.lock:
+            assert len(shard.journal) == 2
+        # ...and the subject then goes quiet.  Before the fix the stale
+        # suffix survived forever; the flush barrier now publishes the
+        # advanced entry and its ack's watermark compacts the journal.
+        published = service.flush(timeout=60)
+        assert published >= 1
+        with shard.lock:
+            assert shard.journal == []
+        assert service.stats.journal_ops_compacted >= 2
