@@ -66,6 +66,7 @@ from repro.evaluation.scalability import (
 )
 from repro.evaluation.service_campaign import (
     run_cold_start_recovery,
+    run_gateway_throughput,
     run_rolling_refresh,
     run_service_campaign,
     run_service_throughput,
@@ -112,6 +113,7 @@ __all__ = [
     "scalability_campaign_cells",
     "run_scalability_campaign",
     "run_cold_start_recovery",
+    "run_gateway_throughput",
     "run_rolling_refresh",
     "run_service_throughput",
     "run_sharded_service_throughput",

@@ -24,6 +24,13 @@ trees, resumable artifacts) the paper experiments use.  Two cell kinds:
   recovery** (snapshot restore plus journal-*suffix* replay vs refit plus
   full-journal replay) are timed head to head, with byte-identity of
   every recovered tier's answers against a single-process reference.
+* ``gateway_throughput`` — the wire story: the identical per-client
+  request streams (:func:`repro.service.workload.wire_workload`) are
+  answered once by direct in-process ``submit_many`` calls and once by
+  concurrent :class:`~repro.service.gateway.GatewayClient` connections
+  through a :class:`~repro.service.gateway.GatewayServer` socket;
+  reports wire availability, per-call gateway overhead, protocol error
+  counts and byte-identity of every answer across the wire.
 * ``rolling_refresh`` — the availability story: per-subject probe
   clients keep querying while
   :meth:`~repro.service.sharding.ShardedQueryService.rolling_refresh`
@@ -52,6 +59,7 @@ SERVICE_CELL = "service_throughput"
 SHARDED_SERVICE_CELL = "sharded_service_throughput"
 COLD_START_CELL = "cold_start_recovery"
 ROLLING_REFRESH_CELL = "rolling_refresh"
+GATEWAY_CELL = "gateway_throughput"
 
 
 def run_service_throughput(system_name: str, hardware: str | None = None,
@@ -485,6 +493,123 @@ def run_cold_start_recovery(system_name: str, hardware: str | None = None,
     }
 
 
+def run_gateway_throughput(system_name: str, hardware: str | None = None,
+                           n_clients: int = 8, requests_per_client: int = 4,
+                           n_samples: int = 60, seed: int = 0,
+                           batch_window: float = 0.002,
+                           quota: int | None = None) -> dict:
+    """Measure the wire gateway against direct in-process submission.
+
+    :func:`repro.service.workload.wire_workload` generates one
+    deterministic request stream per client; the streams are answered
+    twice against the *same* fitted service — first directly
+    (``service.submit_many`` per stream, the in-process baseline), then
+    by ``n_clients`` concurrent
+    :class:`~repro.service.gateway.GatewayClient` connections through a
+    :class:`~repro.service.gateway.GatewayServer` socket, each client
+    pipelining its own stream.  Since CI is single-core, the verdicts
+    are correctness and overhead, not parallel speedup:
+
+    * ``identical`` — every wire answer byte-equal (canonical JSON) to
+      its direct-call twin;
+    * ``availability`` — fraction of wire requests answered (the soak
+      gate demands 1.0);
+    * ``overhead_ms_per_call`` — added wall milliseconds per request of
+      going through framing + socket + server threads;
+    * ``protocol_errors`` — gateway-counted wire violations (must be 0
+      for well-formed traffic).
+
+    Parameters
+    ----------
+    system_name, hardware:
+        Subject system and optional hardware platform.
+    n_clients, requests_per_client:
+        Wire concurrency and per-client stream length.
+    n_samples, seed:
+        Model fit size and the root of the workload seed tree.
+    batch_window:
+        Dispatcher accumulation window of the fronted service.
+    quota:
+        Optional per-tenant lifetime query budget (``None`` =
+        unlimited; the soak needs every request admitted).
+
+    Returns
+    -------
+    dict
+        JSON-serializable cell result with the four verdicts plus raw
+        seconds, throughput and the gateway's counter snapshot.
+    """
+    import threading
+
+    from repro.service.gateway import GatewayClient, GatewayServer, Tenant
+    from repro.service.registry import ModelRegistry
+    from repro.service.service import QueryService
+    from repro.service.workload import canonical_answers, wire_workload
+
+    registry = ModelRegistry(capacity=2)
+    entry = registry.get_or_fit({"system": system_name, "hardware": hardware,
+                                 "n_samples": int(n_samples),
+                                 "seed": int(seed)})
+    system = get_system(system_name, hardware=hardware)
+    streams = wire_workload(entry.key, entry.engine, system.objectives,
+                            int(n_clients), int(requests_per_client),
+                            seed=seed)
+    n_queries = sum(len(stream) for stream in streams)
+
+    with QueryService(registry, batch_window=batch_window,
+                      max_batch=512) as service:
+        # Direct baseline: the same per-client streams, in-process.
+        service.submit_many([r for stream in streams for r in stream])
+        started = time.perf_counter()
+        direct = [service.submit_many(stream) for stream in streams]
+        direct_seconds = time.perf_counter() - started
+
+        tenants = {f"key-{i}": Tenant(f"client-{i}", quota=quota)
+                   for i in range(int(n_clients))}
+        wire: list[list | None] = [None] * int(n_clients)
+        failures: list[str] = []
+        with GatewayServer(service, tenants=tenants,
+                           recv_timeout=60.0) as gateway:
+            def client(index: int) -> None:
+                try:
+                    with GatewayClient(gateway.address,
+                                       api_key=f"key-{index}") as conn:
+                        wire[index] = conn.submit_many(streams[index])
+                except Exception as exc:  # noqa: BLE001 - recorded verdict
+                    failures.append(f"{type(exc).__name__}: {exc}")
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(int(n_clients))]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wire_seconds = time.perf_counter() - started
+            gateway_stats = gateway.stats.as_dict()
+
+    answered = sum(len(stream) for stream in wire if stream is not None)
+    identical = all(
+        stream is not None
+        and canonical_answers(stream) == canonical_answers(direct[index])
+        for index, stream in enumerate(wire))
+    return {
+        "system": system_name,
+        "n_clients": int(n_clients),
+        "n_queries": n_queries,
+        "direct_seconds": direct_seconds,
+        "wire_seconds": wire_seconds,
+        "throughput_qps": n_queries / max(wire_seconds, 1e-9),
+        "overhead_ms_per_call": max(
+            (wire_seconds - direct_seconds) / max(n_queries, 1), 0.0) * 1e3,
+        "availability": answered / max(n_queries, 1),
+        "client_failures": failures,
+        "protocol_errors": gateway_stats["protocol_errors"],
+        "identical": identical,
+        "gateway_stats": gateway_stats,
+    }
+
+
 def _max_window_overlap(windows: Sequence[Mapping]) -> int:
     """Peak number of refresh windows open at one instant (0 if none)."""
     events: list[tuple[float, int]] = []
@@ -832,6 +957,20 @@ def _cold_start_cell(spec: Mapping, seed: int) -> dict:
         batch_window=float(spec.get("batch_window", 0.002)))
 
 
+@register_cell_kind(GATEWAY_CELL)
+def _gateway_cell(spec: Mapping, seed: int) -> dict:
+    """One campaign cell: one wire-gateway throughput measurement."""
+    quota = spec.get("quota")
+    return run_gateway_throughput(
+        spec["system"], spec.get("hardware"),
+        n_clients=int(spec.get("n_clients", 8)),
+        requests_per_client=int(spec.get("requests_per_client", 4)),
+        n_samples=int(spec.get("n_samples", 60)),
+        seed=seed,
+        batch_window=float(spec.get("batch_window", 0.002)),
+        quota=None if quota is None else int(quota))
+
+
 @register_cell_kind(ROLLING_REFRESH_CELL)
 def _rolling_refresh_cell(spec: Mapping, seed: int) -> dict:
     """One campaign cell: one rolling-refresh availability measurement."""
@@ -858,9 +997,10 @@ def service_campaign_cells(scenarios: Sequence[Mapping]) -> list[CampaignCell]:
     """One cell per serving scenario (dicts of
     :func:`run_service_throughput` kwargs — or, with ``"shards"`` in the
     scenario, of :func:`run_sharded_service_throughput` kwargs, with
-    ``"cold_start": True``, of :func:`run_cold_start_recovery` kwargs, or,
+    ``"cold_start": True``, of :func:`run_cold_start_recovery` kwargs,
     with ``"rolling_refresh": True``, of :func:`run_rolling_refresh`
-    kwargs; ``system`` is mandatory).
+    kwargs, or, with ``"gateway": True``, of
+    :func:`run_gateway_throughput` kwargs; ``system`` is mandatory).
 
     Raises
     ------
@@ -872,7 +1012,9 @@ def service_campaign_cells(scenarios: Sequence[Mapping]) -> list[CampaignCell]:
         spec = dict(scenario)
         if "system" not in spec:
             raise ValueError(f"service scenario needs 'system': {spec}")
-        if spec.pop("rolling_refresh", False):
+        if spec.pop("gateway", False):
+            kind = GATEWAY_CELL
+        elif spec.pop("rolling_refresh", False):
             kind = ROLLING_REFRESH_CELL
         elif spec.pop("cold_start", False):
             kind = COLD_START_CELL

@@ -36,6 +36,12 @@ caller; this package fronts the same engines for many concurrent clients:
 * :mod:`repro.service.workload` — deterministic mixed workloads (and
   long-horizon drifting observation streams) for tests, benchmarks and
   demos.
+* :mod:`repro.service.protocol` / :mod:`repro.service.gateway` — the
+  wire tier: a length-prefixed JSON protocol with versioned envelopes
+  and typed :class:`ProtocolError` failures, plus
+  :class:`GatewayServer` / :class:`GatewayClient` putting the services
+  behind a real socket with per-tenant API keys, quotas, streaming
+  ``observe()`` ingestion and graceful drain.
 
 See ``docs/serving.md`` for the architecture narrative and
 ``docs/query-api.md`` for the per-query reference.
@@ -43,6 +49,32 @@ See ``docs/serving.md`` for the architecture narrative and
 
 from repro.service.batcher import RequestBatcher
 from repro.service.drift import DriftDetector
+from repro.service.gateway import (
+    DrainingError,
+    GatewayAuthError,
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    GatewayStats,
+    QuotaExceededError,
+    Tenant,
+)
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    FrameDecoder,
+    ProtocolError,
+    decode_envelope,
+    encode_envelope,
+    encode_frame,
+    error_envelope,
+    read_frame,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
+)
 from repro.service.registry import (
     ModelEntry,
     ModelRegistry,
@@ -88,20 +120,33 @@ from repro.service.workload import (
     mixed_workload,
     serve_concurrently,
     serve_rounds,
+    wire_workload,
 )
 
 __all__ = [
     "AceRequest",
     "AdmissionError",
+    "DrainingError",
     "DriftDetector",
     "EffectRequest",
+    "ErrorCode",
+    "FrameDecoder",
+    "GatewayAuthError",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayServer",
+    "GatewayStats",
+    "MAX_FRAME_BYTES",
     "ModelEntry",
     "ModelRegistry",
     "ModelStore",
+    "PROTOCOL_VERSION",
     "PredictRequest",
+    "ProtocolError",
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "QuotaExceededError",
     "RepairRequest",
     "RequestBatcher",
     "ResultCache",
@@ -112,19 +157,30 @@ __all__ = [
     "ServiceStats",
     "ShardedQueryService",
     "ShardedServiceStats",
+    "Tenant",
     "UnknownSubjectError",
+    "decode_envelope",
+    "encode_envelope",
+    "encode_frame",
+    "error_envelope",
     "mixed_workload",
     "drifting_measurement_stream",
     "latency_percentiles",
     "long_horizon_workload",
+    "read_frame",
     "registry_from_specs",
     "repair_payload",
+    "request_from_wire",
+    "request_to_wire",
+    "response_from_wire",
+    "response_to_wire",
     "serve_concurrently",
     "serve_rounds",
     "shard_of",
     "spec_key",
     "subject_key",
     "unicorn_from_spec",
+    "wire_workload",
     "canonical_answers",
     "canonical_spec",
     "fresh_value",

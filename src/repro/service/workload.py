@@ -151,6 +151,45 @@ def _derived_seed(root_seed: int, *spawn_key: int) -> int:
     return int(sequence.generate_state(1, np.uint64)[0])
 
 
+def wire_workload(subject: str, engine: CausalInferenceEngine,
+                  directions: Mapping[str, str], n_clients: int,
+                  per_client: int, seed: int = 0,
+                  max_repairs: int = 48) -> list[list[QueryRequest]]:
+    """Per-client request streams for wire soaks and their direct baseline.
+
+    The gateway soak benchmark needs N concurrent clients each firing its
+    own request stream, and the direct in-process baseline must consume
+    the *identical* requests to make the byte-identity gate meaningful.
+    This generator produces one stream per client, each from its own
+    :class:`numpy.random.SeedSequence` spawn-tree position
+    ``(client_index,)`` under ``seed`` — no generator is shared between
+    client threads, so neither thread scheduling nor consumption order
+    can perturb the streams, and calling it twice with equal arguments
+    yields byte-equal workloads for the soak and the baseline.
+
+    Parameters
+    ----------
+    subject, engine, directions, max_repairs:
+        Forwarded to :func:`mixed_workload` per client.
+    n_clients:
+        Number of independent client streams.
+    per_client:
+        Requests in each stream.
+    seed:
+        Root of the spawn tree; equal seeds give byte-equal stream sets.
+
+    Returns
+    -------
+    list of list of QueryRequest
+        ``n_clients`` streams of ``per_client`` requests each; the
+        direct-call baseline is the concatenation in client order.
+    """
+    return [mixed_workload(subject, engine, directions, per_client,
+                           seed=_derived_seed(seed, client),
+                           max_repairs=max_repairs)
+            for client in range(n_clients)]
+
+
 def drifting_measurement_stream(system, n_rounds: int, per_round: int,
                                 seed: int = 0,
                                 drift_rounds: Sequence[int] = (),

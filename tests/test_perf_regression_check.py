@@ -20,6 +20,8 @@ BASELINE = {
     "fused": {"speedup": 2.5, "fused_ms": 4.0},
     "cache": {"cache_hit_rate": 0.5, "repeat_pass_ms": 2.0},
     "identity": {"identical": True},
+    "gateway": {"gateway_availability": 1.0, "gateway_overhead_ms": 8.0,
+                "wire_ms": 90.0},
 }
 
 
@@ -29,7 +31,9 @@ def test_tracked_metrics_selects_relative_keys_only():
                        "service.speedup": 4.5,
                        "service.coalesced_ratio": 35.0,
                        "fused.speedup": 2.5,
-                       "cache.cache_hit_rate": 0.5}
+                       "cache.cache_hit_rate": 0.5,
+                       "gateway.gateway_availability": 1.0,
+                       "gateway.gateway_overhead_ms": 8.0}
 
 
 def test_within_tolerance_passes():
@@ -49,6 +53,39 @@ def test_slowdown_beyond_tolerance_fails():
     assert "service.speedup" in regressions[0]
     # A tighter tolerance catches smaller slips; a looser one forgives.
     assert checker.compare(BASELINE, fresh, tolerance=0.5)[0] == []
+
+
+def test_lower_is_better_metric_regresses_upward_only():
+    # Overhead rising past the +20% ceiling regresses; dropping never does.
+    fresh = json.loads(json.dumps(BASELINE))
+    fresh["gateway"]["gateway_overhead_ms"] = 8.0 * 1.5
+    regressions, _ = checker.compare(BASELINE, fresh)
+    assert len(regressions) == 1
+    assert "gateway.gateway_overhead_ms" in regressions[0]
+    assert "above" in regressions[0]
+
+    fresh["gateway"]["gateway_overhead_ms"] = 0.1       # improvement
+    assert checker.compare(BASELINE, fresh)[0] == []
+
+
+def test_lower_is_better_noise_floor_absorbs_tiny_baselines():
+    # A 0.2 ms -> 3 ms wobble is 15x the baseline but still under the
+    # 5 ms noise floor — scheduler noise, not a regression.
+    baseline = {"gateway": {"gateway_overhead_ms": 0.2}}
+    fresh = {"gateway": {"gateway_overhead_ms": 3.0}}
+    assert checker.compare(baseline, fresh)[0] == []
+    # Above the floor the ratio test engages again.
+    fresh["gateway"]["gateway_overhead_ms"] = 6.0
+    regressions, _ = checker.compare(baseline, fresh)
+    assert len(regressions) == 1
+
+
+def test_availability_drop_is_a_regression():
+    fresh = json.loads(json.dumps(BASELINE))
+    fresh["gateway"]["gateway_availability"] = 0.75     # -25% > 20%
+    regressions, _ = checker.compare(BASELINE, fresh)
+    assert len(regressions) == 1
+    assert "gateway.gateway_availability" in regressions[0]
 
 
 def test_missing_tracked_metric_is_a_regression():
