@@ -22,6 +22,7 @@ is unchanged.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 
@@ -137,7 +138,7 @@ def test_query_service_scalar_oracle_differential(results_recorder):
     batched = batcher.dispatch(batched_entry, requests)
     scalar = batcher.dispatch(
         scalar_entry,
-        [type(r)(**{**r.__dict__, "subject": scalar_entry.key})
+        [dataclasses.replace(r, subject=scalar_entry.key)
          for r in requests])
 
     def flatten(value) -> list[float]:

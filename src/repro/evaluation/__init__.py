@@ -15,6 +15,11 @@ Each module corresponds to one family of experiments in the paper:
   (single-process and sharded drift-aware tiers;
   concurrent :class:`~repro.service.service.QueryService` vs one-at-a-time
   dispatch; no paper counterpart — it measures the north-star scaling goal).
+* :mod:`repro.evaluation.self_debug_campaign` — the self-debugging loop:
+  record a traced workload under a misconfigured deployment, debug it on
+  the serving stack's causal twin
+  (:func:`repro.systems.serving_system.make_serving_system`), replay the
+  recommendation and verify it on the real service.
 
 Runners return plain dictionaries / dataclasses so benchmarks can both assert
 on them and print paper-style rows.
@@ -73,6 +78,11 @@ from repro.evaluation.service_campaign import (
     run_sharded_service_throughput,
     service_campaign_cells,
 )
+from repro.evaluation.self_debug_campaign import (
+    run_self_debug_campaign,
+    run_self_debugging,
+    self_debug_campaign_cells,
+)
 from repro.evaluation.case_study import run_case_study
 from repro.evaluation.fault_campaign import (
     FaultCampaignReport,
@@ -119,6 +129,9 @@ __all__ = [
     "run_sharded_service_throughput",
     "service_campaign_cells",
     "run_service_campaign",
+    "run_self_debugging",
+    "self_debug_campaign_cells",
+    "run_self_debug_campaign",
     "run_case_study",
     "FaultCampaignReport",
     "fault_campaign_cells",

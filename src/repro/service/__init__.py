@@ -36,6 +36,13 @@ caller; this package fronts the same engines for many concurrent clients:
 * :mod:`repro.service.workload` — deterministic mixed workloads (and
   long-horizon drifting observation streams) for tests, benchmarks and
   demos.
+* :mod:`repro.service.tracing` / :mod:`repro.service.metrics` — the
+  observability tier: a per-request :class:`TraceContext` threaded
+  through every stage (zero-overhead when disabled, rendered as
+  deterministic JSONL by :class:`TraceRecorder`), and the lock-cheap
+  :class:`MetricsSnapshot` surface (queue depth, coalescing ratio,
+  batch-size histogram, streaming latency percentiles) behind
+  ``metrics_snapshot()`` and the gateway's ``metrics`` verb.
 * :mod:`repro.service.protocol` / :mod:`repro.service.gateway` — the
   wire tier: a length-prefixed JSON protocol with versioned envelopes
   and typed :class:`ProtocolError` failures, plus
@@ -75,6 +82,12 @@ from repro.service.protocol import (
     response_from_wire,
     response_to_wire,
 )
+from repro.service.metrics import (
+    BatchSizeHistogram,
+    LatencyReservoir,
+    MetricsSnapshot,
+    ServiceMetrics,
+)
 from repro.service.registry import (
     ModelEntry,
     ModelRegistry,
@@ -112,6 +125,12 @@ from repro.service.service import (
     ServiceClosedError,
     ServiceStats,
 )
+from repro.service.tracing import (
+    TraceContext,
+    TraceRecorder,
+    Tracer,
+    trace_summary,
+)
 from repro.service.workload import (
     canonical_answers,
     drifting_measurement_stream,
@@ -126,6 +145,7 @@ from repro.service.workload import (
 __all__ = [
     "AceRequest",
     "AdmissionError",
+    "BatchSizeHistogram",
     "DrainingError",
     "DriftDetector",
     "EffectRequest",
@@ -136,7 +156,9 @@ __all__ = [
     "GatewayError",
     "GatewayServer",
     "GatewayStats",
+    "LatencyReservoir",
     "MAX_FRAME_BYTES",
+    "MetricsSnapshot",
     "ModelEntry",
     "ModelRegistry",
     "ModelStore",
@@ -154,10 +176,14 @@ __all__ = [
     "SatisfactionRequest",
     "ServiceClosedError",
     "ServiceKind",
+    "ServiceMetrics",
     "ServiceStats",
     "ShardedQueryService",
     "ShardedServiceStats",
     "Tenant",
+    "TraceContext",
+    "TraceRecorder",
+    "Tracer",
     "UnknownSubjectError",
     "decode_envelope",
     "encode_envelope",
@@ -179,6 +205,7 @@ __all__ = [
     "shard_of",
     "spec_key",
     "subject_key",
+    "trace_summary",
     "unicorn_from_spec",
     "wire_workload",
     "canonical_answers",

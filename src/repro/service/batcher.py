@@ -36,7 +36,8 @@ semantics, and the batcher works unchanged on top of it.
 
 from __future__ import annotations
 
-from typing import Sequence
+import time
+from typing import TYPE_CHECKING, Sequence
 
 from repro.service.registry import ModelEntry
 from repro.service.requests import (
@@ -46,6 +47,11 @@ from repro.service.requests import (
     repair_payload,
 )
 from repro.service.result_cache import MISS, fresh_value as _fresh_value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tracing is
+    # a leaf module, but keeping the runtime import lazy keeps the
+    # batcher importable standalone)
+    from repro.service.tracing import TraceContext
 
 
 class RequestBatcher:
@@ -80,7 +86,9 @@ class RequestBatcher:
     # -------------------------------------------------------------- dispatch
     def dispatch(self, entry: ModelEntry,
                  requests: Sequence[QueryRequest],
-                 dispatch_index: int = 0) -> list[QueryResponse]:
+                 dispatch_index: int = 0,
+                 traces: "list[TraceContext | None] | None" = None,
+                 ) -> list[QueryResponse]:
         """Answer ``requests`` against one registry entry.
 
         The entry's lock is held for the duration (engine caches are not
@@ -96,6 +104,16 @@ class RequestBatcher:
             — grouping happens here).
         dispatch_index:
             Sequence number stamped on the responses (drain-order handle).
+        traces:
+            Optional list of :class:`~repro.service.tracing.TraceContext`
+            aligned with ``requests`` — position ``i`` holds the context
+            request ``i``'s answer settles (see
+            :meth:`~repro.service.tracing.Tracer.claim_round`), or
+            ``None`` where a request is untraced.  When present the
+            batcher fills each context's engine / cache segments,
+            cache-hit flag and coalesce group size by list index — no
+            per-request lookups.  ``None`` (the default) keeps the hot
+            path free of any trace work.
 
         Returns
         -------
@@ -106,8 +124,12 @@ class RequestBatcher:
         requests = list(requests)
         with entry.lock:
             if not self.coalesce:
-                return self._serial(entry, requests, dispatch_index)
-            return self._coalesced(entry, requests, dispatch_index)
+                responses = self._serial(entry, requests, dispatch_index,
+                                         traces=traces)
+            else:
+                responses = self._coalesced(entry, requests, dispatch_index,
+                                            traces=traces)
+        return responses
 
     def serial_dispatch(self, entry: ModelEntry,
                         requests: Sequence[QueryRequest]
@@ -118,15 +140,27 @@ class RequestBatcher:
 
     # -------------------------------------------------------------- internals
     def _serial(self, entry: ModelEntry, requests: list[QueryRequest],
-                dispatch_index: int) -> list[QueryResponse]:
+                dispatch_index: int,
+                traces: "list[TraceContext | None] | None" = None,
+                ) -> list[QueryResponse]:
         cache = entry.result_cache
         responses = []
-        for request in requests:
+        for idx, request in enumerate(requests):
             version = entry.version
+            trace = traces[idx] if traces is not None else None
+            if trace is not None:
+                trace.coalesce_group_size = 1  # singleton engine calls
             if cache is not None:
-                cached = cache.lookup(version, request.item_key())
+                lookup_start = (time.perf_counter()
+                                if trace is not None else 0.0)
+                cached = cache.lookup(version, request.item_key_cached())
+                if trace is not None:
+                    trace.cache_seconds += \
+                        time.perf_counter() - lookup_start
                 if cached is not MISS:
                     self.cache_hits += 1
+                    if trace is not None:
+                        trace.cache_hit = True
                     responses.append(QueryResponse(
                         request=request, subject=entry.key,
                         model_version=version, value=cached,
@@ -135,10 +169,11 @@ class RequestBatcher:
                     self.answered += 1
                     continue
                 self.cache_misses += 1
+            engine_start = time.perf_counter() if trace is not None else 0.0
             try:
                 value = self._evaluate_one(entry, request)
                 if cache is not None:
-                    cache.store(version, request.item_key(), value)
+                    cache.store(version, request.item_key_cached(), value)
                 responses.append(QueryResponse(
                     request=request, subject=entry.key,
                     model_version=entry.version, value=value,
@@ -150,12 +185,16 @@ class RequestBatcher:
                     model_version=entry.version, value=None,
                     batched=False, batch_size=1,
                     dispatch_index=dispatch_index, error=str(exc)))
+            if trace is not None:
+                trace.engine_seconds += time.perf_counter() - engine_start
             self.calls += 1
             self.answered += 1
         return responses
 
     def _coalesced(self, entry: ModelEntry, requests: list[QueryRequest],
-                   dispatch_index: int) -> list[QueryResponse]:
+                   dispatch_index: int,
+                   traces: "list[TraceContext | None] | None" = None,
+                   ) -> list[QueryResponse]:
         # Group by group_key, preserving request order within each group.
         groups: dict[tuple, list[int]] = {}
         for i, request in enumerate(requests):
@@ -163,30 +202,42 @@ class RequestBatcher:
 
         cache = entry.result_cache
         responses: list[QueryResponse | None] = [None] * len(requests)
+        tracing = traces is not None
         for indices in groups.values():
             # Deduplicate by item key in first-appearance order.
             distinct: dict[tuple, list[int]] = {}
             for i in indices:
-                distinct.setdefault(requests[i].item_key(), []).append(i)
+                distinct.setdefault(requests[i].item_key_cached(),
+                                    []).append(i)
             # Answer what the cache already knows; only the missing item
             # keys go to the engine as one (smaller) batched call.
             version = entry.version
             answers: dict[tuple, tuple[object, str | None, int]] = {}
             misses: list[tuple] = []
+            hit_keys: set[tuple] = set()
+            cache_elapsed = 0.0
             if cache is not None:
+                cache_start = (time.perf_counter()
+                               if tracing else 0.0)
                 for key in distinct:
                     hit = cache.lookup(version, key)
                     if hit is not MISS:
                         self.cache_hits += 1
                         answers[key] = (hit, None, 1)
+                        hit_keys.add(key)
                     else:
                         self.cache_misses += 1
                         misses.append(key)
+                if tracing:
+                    cache_elapsed = time.perf_counter() - cache_start
             else:
                 misses = list(distinct)
+            engine_elapsed = 0.0
             if misses:
                 leaders = [distinct[key][0] for key in misses]
                 batch_size = len(leaders)
+                engine_start = (time.perf_counter()
+                                if tracing else 0.0)
                 try:
                     values = self._evaluate_group(
                         entry, [requests[i] for i in leaders])
@@ -208,12 +259,25 @@ class RequestBatcher:
                             values.append(None)
                             errors.append(str(exc))
                         self.calls += 1
+                if tracing:
+                    engine_elapsed = time.perf_counter() - engine_start
                 for key, value, error in zip(misses, values, errors):
                     if cache is not None and error is None:
                         cache.store(version, key, value)
                     answers[key] = (value, error, batch_size)
             for key, fanout in distinct.items():
                 value, error, batch_size = answers[key]
+                if tracing:
+                    for i in fanout:
+                        trace = traces[i]
+                        if trace is None:
+                            continue
+                        trace.batched = True
+                        trace.coalesce_group_size = batch_size
+                        trace.cache_hit = key in hit_keys
+                        trace.cache_seconds += cache_elapsed
+                        if key not in hit_keys:
+                            trace.engine_seconds += engine_elapsed
                 for j, i in enumerate(fanout):
                     # Duplicates get their own copy of the (mutable)
                     # answer, matching the serial path where every request

@@ -494,15 +494,18 @@ class GatewayServer:
                         "op": "ping", "draining": self.draining}
             if op == "stats":
                 return self._handle_stats()
+            if op == "metrics":
+                return self._handle_metrics()
             if op == "query":
-                return self._handle_query(envelope, tenant)
+                return self._handle_query(envelope, tenant,
+                                          frame_bytes=len(frame))
             if op == "observe":
                 return self._handle_observe(envelope, tenant)
             with self._lock:
                 self.stats.protocol_errors += 1
             raise _Reject(ErrorCode.UNKNOWN_OP,
                           f"unknown operation {op!r}; known: "
-                          "ping, stats, query, observe")
+                          "ping, stats, metrics, query, observe")
         except _Reject as reject:
             return error_envelope(reject.code, str(reject))
         except Exception as exc:  # noqa: BLE001 - the handler must answer
@@ -553,7 +556,8 @@ class GatewayServer:
             self.stats.queries += 1
             account["submitted"] += 1
 
-    def _handle_query(self, envelope: Mapping, tenant: Tenant) -> dict:
+    def _handle_query(self, envelope: Mapping, tenant: Tenant,
+                      frame_bytes: int = 0) -> dict:
         """Answer one query op: decode, admit, submit, encode."""
         try:
             request = request_from_wire(envelope.get("request"))
@@ -563,6 +567,12 @@ class GatewayServer:
                 self._tenant_account(tenant)["rejected"] += 1
             raise _Reject(exc.code, str(exc)) from None
         self._admit_query(tenant)
+        tracer = getattr(self.service, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            # Post the wire-level facts before submission: ``begin()``
+            # inside the service folds them into the new trace context.
+            tracer.annotate(request, tenant=tenant.name,
+                            frame_bytes=int(frame_bytes))
         try:
             response = self.service.submit(request,
                                            timeout=self.request_timeout)
@@ -635,12 +645,32 @@ class GatewayServer:
                 "version": int(version)}
 
     def _handle_stats(self) -> dict:
-        """Serve the gateway's and the fronted service's counters."""
+        """Serve the gateway's and the fronted service's counters.
+
+        The service side reads through ``stats_snapshot()`` — the
+        consistent copy taken under the service's own stats lock — so a
+        wire snapshot taken mid-burst can never show a torn view such as
+        ``answered > submitted``.
+        """
         with self._lock:
             gateway = self.stats.as_dict()
+        snapshot = getattr(self.service, "stats_snapshot", None)
+        service_stats = (snapshot() if callable(snapshot)
+                         else self.service.stats)
         return {"protocol_version": PROTOCOL_VERSION, "ok": True,
                 "op": "stats", "gateway": gateway,
-                "service": dataclasses.asdict(self.service.stats),
+                "service": dataclasses.asdict(service_stats),
+                "draining": self.draining}
+
+    def _handle_metrics(self) -> dict:
+        """Serve the fronted service's :class:`MetricsSnapshot`.
+
+        Like ``stats``/``ping``, ``metrics`` keeps answering while the
+        gateway drains, so dashboards can watch a drain complete.
+        """
+        snapshot = self.service.metrics_snapshot()
+        return {"protocol_version": PROTOCOL_VERSION, "ok": True,
+                "op": "metrics", "metrics": snapshot.as_dict(),
                 "draining": self.draining}
 
 
@@ -787,6 +817,19 @@ class GatewayClient:
         return {"gateway": reply.get("gateway"),
                 "service": reply.get("service"),
                 "draining": reply.get("draining")}
+
+    def metrics(self) -> dict:
+        """Fetch the fronted service's metrics snapshot.
+
+        Returns the :meth:`MetricsSnapshot.as_dict
+        <repro.service.metrics.MetricsSnapshot.as_dict>` rendering —
+        queue depth, in-flight, coalescing ratio, batch-size histogram,
+        refresh cadence and p50/p95/p99 latency — decodable with
+        :meth:`MetricsSnapshot.from_dict
+        <repro.service.metrics.MetricsSnapshot.from_dict>`.
+        """
+        reply = self._exchange({"op": "metrics"})
+        return dict(reply.get("metrics") or {})
 
     def ping(self) -> bool:
         """Health probe; returns ``True`` while the gateway answers."""

@@ -88,6 +88,25 @@ class QueryRequest:
         """
         raise NotImplementedError
 
+    def item_key_cached(self) -> tuple:
+        """:meth:`item_key`, computed once per instance.
+
+        Some kinds derive their key through a full
+        :class:`~repro.inference.queries.PerformanceQuery` build — too
+        costly to repeat on every cache probe, coalesce grouping and
+        trace begin.  Requests are frozen, so the key never changes;
+        hot paths read this memo instead.
+
+        The memo lives in ``__dict__`` but is not a dataclass field, so
+        clone requests with :func:`dataclasses.replace` (which passes
+        only declared fields), never ``type(r)(**r.__dict__)``.
+        """
+        key = self.__dict__.get("_item_key_memo")
+        if key is None:
+            key = self.item_key()
+            object.__setattr__(self, "_item_key_memo", key)
+        return key
+
     def to_performance_query(self) -> PerformanceQuery | None:
         """The paper-level query descriptor, where one exists.
 

@@ -30,6 +30,7 @@ Three serving policies are enforced here rather than in the batcher:
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import OrderedDict, deque
@@ -38,8 +39,10 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.service.batcher import RequestBatcher
+from repro.service.metrics import MetricsSnapshot, ServiceMetrics
 from repro.service.registry import ModelRegistry
 from repro.service.requests import QueryRequest, QueryResponse
+from repro.service.tracing import Tracer
 
 
 class ServiceClosedError(RuntimeError):
@@ -120,6 +123,12 @@ class QueryService:
     auto_start:
         Start the dispatcher thread immediately; pass ``False`` to enqueue
         first and :meth:`start` later (used by backpressure tests).
+    tracer:
+        Optional :class:`~repro.service.tracing.Tracer`.  When enabled it
+        receives a per-request :class:`~repro.service.tracing.TraceContext`
+        carrying the queue-wait / batch-wait / engine / cache segments;
+        when absent (or disabled) the hot path performs no per-request
+        trace work at all.
 
     Examples
     --------
@@ -137,7 +146,8 @@ class QueryService:
                  max_pending: int = 1024,
                  max_batch: int = 256,
                  fairness_quantum: int = 32,
-                 auto_start: bool = True) -> None:
+                 auto_start: bool = True,
+                 tracer: Tracer | None = None) -> None:
         if max_pending < 1 or max_batch < 1 or fairness_quantum < 1:
             raise ValueError("queue bounds must be >= 1")
         self.registry = registry
@@ -147,6 +157,12 @@ class QueryService:
         self.max_batch = int(max_batch)
         self.fairness_quantum = int(fairness_quantum)
         self.stats = ServiceStats()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = ServiceMetrics()
+        #: innermost lock guarding every ``self.stats`` mutation and the
+        #: consistent :meth:`stats_snapshot` copy; never held while
+        #: acquiring ``self._cv``.
+        self._stats_lock = threading.Lock()
 
         #: per-subject FIFO queues, in subject-arrival order; the drain
         #: loop round-robins over this OrderedDict for fairness.
@@ -205,9 +221,14 @@ class QueryService:
             self._n_pending = 0
         for pending in leftovers:
             if not pending.future.set_running_or_notify_cancel():
-                self.stats.cancelled += 1
+                with self._stats_lock:
+                    self.stats.cancelled += 1
                 continue
-            self.stats.closed_errors += 1
+            with self._stats_lock:
+                self.stats.closed_errors += 1
+            trace = self.tracer.finish(pending.request)
+            if trace is not None:
+                trace.error = "service closed before dispatch"
             pending.future.set_exception(ServiceClosedError(
                 "service closed before the request was dispatched"))
 
@@ -238,19 +259,30 @@ class QueryService:
         self.registry.get(request.subject)  # validate before queueing
         pending = _Pending(request=request, future=Future(),
                            enqueued_at=time.perf_counter())
-        with self._cv:
-            if self._closed:
-                raise ServiceClosedError("service is closed")
-            if self._n_pending >= self.max_pending:
-                self.stats.rejected += 1
-                raise AdmissionError(
-                    f"in-flight queue full ({self.max_pending} pending); "
-                    "back off and retry")
-            self._queues.setdefault(request.subject,
-                                    deque()).append(pending)
-            self._n_pending += 1
-            self.stats.submitted += 1
-            self._cv.notify_all()
+        # The context must exist before the dispatcher can possibly see
+        # the request, so the batcher's lookup never races a late begin.
+        trace = self.tracer.begin(request)
+        try:
+            with self._cv:
+                if self._closed:
+                    raise ServiceClosedError("service is closed")
+                if self._n_pending >= self.max_pending:
+                    with self._stats_lock:
+                        self.stats.rejected += 1
+                    raise AdmissionError(
+                        f"in-flight queue full ({self.max_pending} pending);"
+                        " back off and retry")
+                self._queues.setdefault(request.subject,
+                                        deque()).append(pending)
+                self._n_pending += 1
+                with self._stats_lock:
+                    self.stats.submitted += 1
+                self._cv.notify_all()
+        except Exception as exc:
+            if trace is not None:
+                trace.error = type(exc).__name__
+                self.tracer.finish(request, trace)
+            raise
         return pending.future
 
     def submit(self, request: QueryRequest,
@@ -295,11 +327,18 @@ class QueryService:
         for request in requests:
             self.registry.get(request.subject)
         futures = []
+        # One bulk begin: a single tracer-lock handshake for the whole
+        # slice instead of one per request.
+        self.tracer.begin_many(requests)
         with self._cv:
             if self._closed:
                 raise ServiceClosedError("service is closed")
             if self._n_pending + len(requests) > self.max_pending:
-                self.stats.rejected += len(requests)
+                with self._stats_lock:
+                    self.stats.rejected += len(requests)
+                if self.tracer.enabled:
+                    for request in requests:
+                        self.tracer.finish(request)
                 raise AdmissionError(
                     f"in-flight queue cannot admit {len(requests)} more "
                     f"requests ({self._n_pending}/{self.max_pending} used)")
@@ -311,7 +350,8 @@ class QueryService:
                                         deque()).append(pending)
                 futures.append(pending.future)
             self._n_pending += len(requests)
-            self.stats.submitted += len(requests)
+            with self._stats_lock:
+                self.stats.submitted += len(requests)
             self._cv.notify_all()
         # One shared deadline: ``timeout`` bounds the whole call, not each
         # future individually.
@@ -325,6 +365,48 @@ class QueryService:
         """Requests currently queued (not yet dispatched)."""
         with self._cv:
             return self._n_pending
+
+    # ------------------------------------------------------------ observability
+    def stats_snapshot(self) -> ServiceStats:
+        """A consistent point-in-time copy of :attr:`stats`.
+
+        Taken under the same lock every counter mutation holds, so a
+        snapshot read mid-burst can never show a torn view such as
+        ``answered + dispatch_errors + closed_errors > submitted`` —
+        the guarantee the gateway's ``stats`` verb and the regression
+        test in ``tests/test_stats_consistency.py`` rely on.  Reading
+        :attr:`stats` directly remains possible but is only
+        race-free once the service has quiesced.
+        """
+        with self._stats_lock:
+            return dataclasses.replace(
+                self.stats, per_subject=dict(self.stats.per_subject))
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """A :class:`~repro.service.metrics.MetricsSnapshot` of this tier.
+
+        Combines the consistent counter snapshot with the live gauges
+        (queue depth, in-flight estimate), the dispatch batch-size
+        histogram, the latency reservoir's p50/p95/p99, and the
+        registry's refresh cadence.
+        """
+        with self._cv:
+            queue_depth = self._n_pending
+        stats = self.stats_snapshot()
+        in_flight = max(0, stats.submitted - stats.answered
+                        - stats.cancelled - stats.closed_errors)
+        return MetricsSnapshot(
+            queue_depth=queue_depth,
+            in_flight=in_flight,
+            submitted=stats.submitted,
+            answered=stats.answered,
+            coalescing_ratio=stats.coalesced_ratio,
+            cache_hits=stats.cache_hits,
+            cache_misses=stats.cache_misses,
+            refreshes=self.registry.refreshes,
+            batch_histogram=self.metrics.batch_sizes.as_dict(),
+            latency_ms=self.metrics.latency.percentiles(),
+            latency_samples=self.metrics.latency.count)
 
     # ------------------------------------------------------------ maintenance
     def observe(self, subject: str, measurements: Sequence,
@@ -375,9 +457,13 @@ class QueryService:
                     # drained futures of the failed round were removed
                     # from the queues, so resolve them with an error
                     # instead of leaving their clients blocked forever.
-                    self.stats.dispatch_errors += 1
+                    with self._stats_lock:
+                        self.stats.dispatch_errors += 1
                     for pendings in batch.values():
                         for pending in pendings:
+                            trace = self.tracer.finish(pending.request)
+                            if trace is not None:
+                                trace.error = f"dispatch round failed: {exc}"
                             self._resolve(pending, QueryResponse(
                                 request=pending.request,
                                 subject=pending.request.subject,
@@ -429,23 +515,33 @@ class QueryService:
         futures of the round.
         """
         if not pending.future.set_running_or_notify_cancel():
-            self.stats.cancelled += 1
+            with self._stats_lock:
+                self.stats.cancelled += 1
             return
         pending.future.set_result(response)
 
     def _answer(self, batch: "OrderedDict[str, list[_Pending]]") -> None:
         """Dispatch one drained round, one batcher call per subject."""
+        tracing = self.tracer.enabled
         for subject, pendings in batch.items():
             self._dispatch_index += 1
             index = self._dispatch_index
             calls_before = self.batcher.calls
             hits_before = self.batcher.cache_hits
             misses_before = self.batcher.cache_misses
+            requests = [p.request for p in pendings]
+            # claim_round() retires each request's oldest live context —
+            # exactly the occurrence its response settles, so repeats of
+            # one hot request object each stamp their own context — and
+            # the one aligned list serves the batcher's annotations and
+            # the settle loop below: one tracer-lock pass per round.
+            traces = (self.tracer.claim_round(requests) if tracing
+                      else None)
+            dispatch_start = time.perf_counter()
             try:
                 entry = self.registry.get(subject)
                 responses = self.batcher.dispatch(
-                    entry, [p.request for p in pendings],
-                    dispatch_index=index)
+                    entry, requests, dispatch_index=index, traces=traces)
             except Exception as exc:  # noqa: BLE001 - isolate subjects
                 responses = [QueryResponse(
                     request=p.request, subject=subject, model_version=-1,
@@ -460,17 +556,36 @@ class QueryService:
                     model_version=-1, value=None, dispatch_index=index,
                     error="batcher returned too few responses"))
             now = time.perf_counter()
-            for pending, response in zip(pendings, responses):
+            latencies = []
+            if traces is None:
+                traces = [None] * len(pendings)
+            for pending, response, trace in zip(pendings, responses,
+                                                traces):
                 response.latency_seconds = now - pending.enqueued_at
+                latencies.append(response.latency_seconds)
+                if trace is not None:
+                    trace.queue_wait_seconds = \
+                        dispatch_start - pending.enqueued_at
+                    trace.batch_wait_seconds = self.batch_window
+                    trace.total_seconds = response.latency_seconds
+                    if response.error:
+                        trace.error = response.error
+            self.metrics.observe_dispatch(len(pendings), latencies)
+            with self._stats_lock:
+                self.stats.dispatches += 1
+                self.stats.answered += len(responses)
+                self.stats.engine_calls += self.batcher.calls - calls_before
+                self.stats.cache_hits += \
+                    self.batcher.cache_hits - hits_before
+                self.stats.cache_misses += \
+                    self.batcher.cache_misses - misses_before
+                self.stats.max_batch_observed = max(
+                    self.stats.max_batch_observed, len(pendings))
+                per_subject = self.stats.per_subject
+                per_subject[subject] = per_subject.get(subject, 0) \
+                    + len(responses)
+            # Resolve only after the round's stats are published: a
+            # client whose future just completed must never read a
+            # snapshot that has not yet counted its answer.
+            for pending, response in zip(pendings, responses):
                 self._resolve(pending, response)
-            self.stats.dispatches += 1
-            self.stats.answered += len(responses)
-            self.stats.engine_calls += self.batcher.calls - calls_before
-            self.stats.cache_hits += self.batcher.cache_hits - hits_before
-            self.stats.cache_misses += \
-                self.batcher.cache_misses - misses_before
-            self.stats.max_batch_observed = max(self.stats.max_batch_observed,
-                                                len(pendings))
-            per_subject = self.stats.per_subject
-            per_subject[subject] = per_subject.get(subject, 0) \
-                + len(responses)

@@ -62,13 +62,15 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclasses_replace
 from typing import Mapping, Sequence
 
+from repro.service.metrics import MetricsSnapshot, ServiceMetrics
 from repro.service.registry import ModelRegistry, UnknownSubjectError
 from repro.service.requests import QueryRequest, QueryResponse
 from repro.service.service import AdmissionError, ServiceClosedError
 from repro.service.store import ModelStore, subject_key
+from repro.service.tracing import Tracer
 from repro.service.worker import run_shard_server, run_shard_thread
 
 
@@ -213,6 +215,10 @@ class _Shard:
         self.refreshing = False
         self.sender: threading.Thread | None = None
         self.reader: threading.Thread | None = None
+        #: most recent worker-side counters (set by ``worker_stats``);
+        #: lets ``metrics_snapshot`` report fleet cache traffic without
+        #: an IPC round-trip.
+        self.last_stats: dict | None = None
 
     def alive(self) -> bool:
         """Whether this shard's worker process/thread is running."""
@@ -288,7 +294,8 @@ class ShardedQueryService:
                  start_timeout: float = 300.0,
                  result_cache_size: int | None = 256,
                  store_path: str | None = None,
-                 snapshot_every: int = 1) -> None:
+                 snapshot_every: int = 1,
+                 tracer: Tracer | None = None) -> None:
         if not specs:
             raise ValueError("a sharded service needs at least one subject")
         if shards < 1 or max_pending < 1 or max_requeues < 0:
@@ -301,6 +308,8 @@ class ShardedQueryService:
         self.max_requeues = int(max_requeues)
         self.start_timeout = float(start_timeout)
         self.stats = ShardedServiceStats()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = ServiceMetrics()
         self._registry_options = {
             "use_batched": bool(use_batched),
             "drift_threshold": drift_threshold,
@@ -486,6 +495,9 @@ class ShardedQueryService:
         """
         shard = self._route(request)
         self._admit(1)
+        trace = self.tracer.begin(request)
+        if trace is not None:
+            trace.shard = shard.index
         pending = _Pending(request=request, future=Future(),
                            enqueued_at=time.perf_counter())
         with shard.cv:
@@ -515,6 +527,9 @@ class ShardedQueryService:
         futures = []
         by_shard: dict[int, list[_Pending]] = {}
         for request, shard in zip(requests, routed):
+            trace = self.tracer.begin(request)
+            if trace is not None:
+                trace.shard = shard.index
             pending = _Pending(request=request, future=Future(),
                                enqueued_at=now)
             by_shard.setdefault(shard.index, []).append(pending)
@@ -637,12 +652,76 @@ class ShardedQueryService:
                 payloads.append(dict(failed_stub, shard=shard.index))
                 continue
             try:
-                payloads.append(future.result(timeout=timeout))
+                payload = future.result(timeout=timeout)
+                shard.last_stats = payload  # feeds metrics_snapshot()
+                payloads.append(payload)
             except ServiceClosedError:
                 if self._closed:
                     raise
                 payloads.append(dict(failed_stub, shard=shard.index))
         return payloads
+
+    def stats_snapshot(self) -> ShardedServiceStats:
+        """A consistent point-in-time copy of :attr:`stats`.
+
+        All counter mutations already run under ``self._lock`` (the
+        settlement path is multi-threaded — one reader thread per
+        shard); taking the copy under the same lock guarantees the
+        snapshot never shows ``answered + errors + closed_errors >
+        submitted`` mid-burst.
+        """
+        with self._lock:
+            return dataclasses_replace(
+                self.stats,
+                per_shard_answered=dict(self.stats.per_shard_answered))
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """A :class:`~repro.service.metrics.MetricsSnapshot` of the fleet.
+
+        Gauges come from the parent side only (no worker round-trips, so
+        the call is cheap enough to poll): queue depth is the sum of the
+        per-shard outboxes, the coalescing ratio is answers per dispatch
+        batch, and ``refreshes`` counts completed rolling-refresh sweeps.
+        Per-worker engine counters remain available via
+        :meth:`worker_stats`.
+        """
+        queue_depth = 0
+        for shard in self._shards:
+            with shard.cv:
+                queue_depth += len(shard.outbox)
+        stats = self.stats_snapshot()
+        with self._lock:
+            in_flight = self._n_unresolved
+        cache_hits, cache_misses = self._worker_cache_traffic()
+        return MetricsSnapshot(
+            queue_depth=queue_depth,
+            in_flight=in_flight,
+            submitted=stats.submitted,
+            answered=stats.answered,
+            coalescing_ratio=stats.answered
+            / max(stats.dispatch_batches, 1),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            refreshes=stats.rolling_refreshes,
+            batch_histogram=self.metrics.batch_sizes.as_dict(),
+            latency_ms=self.metrics.latency.percentiles(),
+            latency_samples=self.metrics.latency.count)
+
+    def _worker_cache_traffic(self) -> tuple[int, int]:
+        """Fleet-wide result-cache hit/miss totals (best effort).
+
+        Worker counters require an IPC round-trip; a snapshot must stay
+        cheap and non-blocking, so this sums the most recent counters
+        each shard acknowledged, defaulting to zero for shards that have
+        not reported yet.
+        """
+        hits = misses = 0
+        for shard in self._shards:
+            payload = getattr(shard, "last_stats", None)
+            if payload:
+                hits += int(payload.get("cache_hits", 0))
+                misses += int(payload.get("cache_misses", 0))
+        return hits, misses
 
     def flush(self, timeout: float | None = 60.0) -> int:
         """Make every shard's registry durable; returns snapshots written.
@@ -745,16 +824,26 @@ class ShardedQueryService:
         ``stats.errors``, not ``stats.answered`` — an error settlement is
         not a served answer.
         """
+        # finish() pops the oldest live context — the occurrence this
+        # settlement resolves — so repeats of one hot request object each
+        # stamp their own context (mutating after the pop is fine, the
+        # finished log holds the same object).
         if not pending.future.set_running_or_notify_cancel():
             with self._lock:
                 self._n_unresolved -= 1
                 self.stats.cancelled += 1
+            trace = self.tracer.finish(pending.request)
+            if trace is not None:
+                trace.error = "cancelled"
             return
         if exception is not None:
             with self._lock:
                 self._n_unresolved -= 1
                 if isinstance(exception, ServiceClosedError):
                     self.stats.closed_errors += 1
+            trace = self.tracer.finish(pending.request)
+            if trace is not None:
+                trace.error = type(exception).__name__
             pending.future.set_exception(exception)
             return
         with self._lock:
@@ -763,6 +852,11 @@ class ShardedQueryService:
                 self.stats.errors += 1
             else:
                 self.stats.answered += 1
+        trace = self.tracer.finish(pending.request)
+        if trace is not None:
+            trace.total_seconds = response.latency_seconds
+            if response.error:
+                trace.error = response.error
         pending.future.set_result(response)
 
     # ----------------------------------------------------------------- sender
@@ -949,8 +1043,10 @@ class ShardedQueryService:
         if pendings is None:  # duplicate after a crash-requeue race
             return
         now = time.perf_counter()
+        latencies = []
         for pending, response in zip(pendings, responses):
             response.latency_seconds = now - pending.enqueued_at
+            latencies.append(response.latency_seconds)
             self._settle(pending, response)
         for pending in pendings[len(responses):]:  # defensive: short reply
             self._settle(pending, QueryResponse(
@@ -958,6 +1054,8 @@ class ShardedQueryService:
                 model_version=-1, value=None,
                 error="worker returned too few responses"),
                 synthesized_error=True)
+        if latencies:
+            self.metrics.observe_dispatch(len(latencies), latencies)
         with self._lock:
             answered = self.stats.per_shard_answered
             answered[shard.index] = answered.get(shard.index, 0) \

@@ -1,0 +1,495 @@
+"""Per-request tracing for the serving tier.
+
+A :class:`TraceContext` rides alongside each
+:class:`~repro.service.requests.QueryRequest` from admission to
+response: which tenant and subject it belongs to, which shard answered
+it, how long it waited in the queue versus the batch window versus the
+engine, whether the result came from cache, how many requests shared its
+coalesced engine call, and how many protocol bytes carried it.  The
+segments mirror the stages a request actually passes through
+(``QueryService`` admission → drain → ``RequestBatcher`` dispatch →
+optionally a shard worker → optionally the gateway's wire framing).
+
+Design rules:
+
+* **Zero overhead when disabled.**  :meth:`Tracer.begin` returns
+  ``None`` when tracing is off — no allocation, no dict update, nothing
+  on the hot path.  Every call site guards with ``if trace is not
+  None``.  The :attr:`Tracer.contexts_created` counter exists precisely
+  so tests can assert this: with tracing disabled it must stay zero
+  through an entire workload.
+* **Deterministic records.**  Request ids are derived from the workload
+  seed tree (subject, kind, item key, occurrence index), not from
+  wall-clock or object identity, so the same seeded workload replayed
+  twice produces the same ids in the same order.
+  :meth:`TraceRecorder.render` can strip wall-clock duration fields,
+  leaving a byte-stable JSONL artifact keyed by the root seed.
+* **No signature churn.**  The gateway attaches wire-level facts
+  (tenant, frame bytes) via :meth:`Tracer.annotate` *before* submitting,
+  keyed by request identity; ``begin()`` folds pending annotations into
+  the new context.  ``QueryService.submit*`` signatures stay unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.service.requests import QueryRequest
+
+#: Trace fields holding wall-clock durations — stripped by
+#: :meth:`TraceRecorder.render` when a byte-stable artifact is wanted.
+WALL_CLOCK_FIELDS = (
+    "queue_wait_seconds",
+    "batch_wait_seconds",
+    "engine_seconds",
+    "cache_seconds",
+    "total_seconds",
+)
+
+
+@dataclass
+class TraceContext:
+    """Everything observed about one request's trip through the service.
+
+    Mutable on purpose: each tier fills in the fields it owns
+    (``QueryService`` the queue wait, ``RequestBatcher`` the engine and
+    cache segments, ``ShardedQueryService`` the shard index, the gateway
+    the tenant and frame bytes).  :meth:`as_record` renders the finished
+    context as a JSON-safe dict with stable key order.
+
+    The request id is stored as its parts (``item_key`` tuple plus an
+    occurrence index) and rendered on demand: formatting a nested tuple
+    into a string costs microseconds, which belongs on the cold render
+    path, not in :meth:`Tracer.begin` on the serving hot path.
+    """
+
+    __slots__ = (
+        "tenant", "subject", "kind", "item_key", "occurrence", "shard",
+        "queue_wait_seconds", "batch_wait_seconds", "engine_seconds",
+        "cache_seconds", "total_seconds", "coalesce_group_size",
+        "cache_hit", "batched", "frame_bytes", "error",
+    )
+
+    tenant: str
+    subject: str
+    kind: str
+    item_key: tuple
+    occurrence: int
+    shard: int
+    queue_wait_seconds: float
+    batch_wait_seconds: float
+    engine_seconds: float
+    cache_seconds: float
+    total_seconds: float
+    coalesce_group_size: int
+    cache_hit: bool
+    batched: bool
+    frame_bytes: int
+    error: str
+
+    @property
+    def request_id(self) -> str:
+        """Deterministic id: subject / kind / item key / occurrence."""
+        return (f"{self.subject}/{self.kind}/{self.item_key}"
+                f"#{self.occurrence}")
+
+    def as_record(self) -> dict:
+        """JSON-safe dict with deterministic key order."""
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "subject": self.subject,
+            "kind": self.kind,
+            "shard": self.shard,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "batch_wait_seconds": self.batch_wait_seconds,
+            "engine_seconds": self.engine_seconds,
+            "cache_seconds": self.cache_seconds,
+            "total_seconds": self.total_seconds,
+            "coalesce_group_size": self.coalesce_group_size,
+            "cache_hit": self.cache_hit,
+            "batched": self.batched,
+            "frame_bytes": self.frame_bytes,
+            "error": self.error,
+        }
+
+
+def _blank_context(subject: str, kind: str, item_key: tuple,
+                   occurrence: int) -> TraceContext:
+    """A fresh context with every segment zeroed.
+
+    Positional construction, in ``__slots__`` order — keyword binding
+    of 16 fields costs ~1 µs/context, which at serving rates is the
+    difference between tracing being free and being measurable.
+    """
+    return TraceContext(
+        "", subject, kind, item_key, occurrence, -1,  # tenant..shard
+        0.0, 0.0, 0.0, 0.0, 0.0,  # queue/batch/engine/cache/total secs
+        0, False, False, 0, "")  # group size, flags, frame bytes, error
+
+
+class Tracer:
+    """Creates, annotates and collects :class:`TraceContext` objects.
+
+    One tracer is shared by every tier of one serving stack.  When
+    ``enabled`` is False (the default), every method is a cheap no-op
+    and :meth:`begin` returns ``None`` without allocating — call sites
+    guard all trace work behind ``if trace is not None``, so a disabled
+    tracer adds only that ``None`` check to the hot path.
+
+    ``contexts_created`` counts every context ever built; the
+    zero-overhead-when-disabled test drives a full workload with tracing
+    off and asserts the counter stayed at zero.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self.contexts_created = 0
+        self._lock = threading.Lock()
+        #: live contexts per request identity.  Workload generators may
+        #: submit the *same* (frozen) request object more than once, so
+        #: each identity holds a FIFO of contexts: ``begin`` appends,
+        #: ``lookup`` reads the oldest unfinished, ``finish`` pops it.
+        self._live: dict[int, list[TraceContext]] = {}
+        self._annotations: dict[int, dict] = {}
+        self._finished: list[TraceContext] = []
+        self._occurrences: dict[tuple, int] = {}
+        #: requests begun in bulk whose contexts have not been built yet
+        #: (``id`` → ``[request, count]``).  ``begin_many`` only records
+        #: the debt — the dispatcher materialises it on first touch — so
+        #: 64 client threads pay one dict write per request instead of
+        #: contending over context construction.
+        self._deferred: dict[int, list] = {}
+
+    # -- hot-path API -------------------------------------------------
+
+    def _materialize_locked(self, rid: int) -> None:
+        """Build the deferred contexts of one request (lock held).
+
+        Occurrence indices are assigned here, in materialisation order;
+        per identity that matches begin order because equal requests ride
+        the same FIFO subject queue.  Pending pre-begin annotations fold
+        into the first context, exactly as eager sequential begins would
+        have folded them.
+        """
+        slot = self._deferred.pop(rid, None)
+        if slot is None:
+            return
+        request, count = slot
+        item_key = request.item_key_cached()
+        # Every request kind leads its item key with ``kind.value``, so
+        # the key alone identifies the answer; reading kind out of it
+        # skips a property + enum hop per materialisation.
+        kind = item_key[0]
+        identity = (request.subject, item_key)
+        occurrence = self._occurrences.get(identity, 0)
+        self._occurrences[identity] = occurrence + count
+        pending = self._annotations.pop(rid, None)
+        stack = self._live.get(rid)
+        if stack is None:
+            stack = self._live[rid] = []
+        for k in range(count):
+            trace = _blank_context(request.subject, kind, item_key,
+                                   occurrence + k)
+            if pending is not None:
+                trace.tenant = pending.get("tenant", trace.tenant)
+                trace.frame_bytes = pending.get("frame_bytes",
+                                                trace.frame_bytes)
+                pending = None
+            stack.append(trace)
+
+    def begin(self, request: QueryRequest) -> TraceContext | None:
+        """Open a context for ``request`` (``None`` when disabled).
+
+        The request id is derived deterministically from the request's
+        identity — ``(subject, kind, item_key)`` plus an occurrence
+        index for repeats — never from wall-clock or memory addresses,
+        so seeded replays yield identical ids.
+        """
+        if not self.enabled:
+            return None
+        item_key = request.item_key_cached()
+        kind = item_key[0]  # every item key leads with ``kind.value``
+        identity = (request.subject, item_key)
+        trace = _blank_context(request.subject, kind, item_key, 0)
+        with self._lock:
+            self._materialize_locked(id(request))
+            occurrence = self._occurrences.get(identity, 0)
+            self._occurrences[identity] = occurrence + 1
+            trace.occurrence = occurrence
+            self.contexts_created += 1
+            pending = self._annotations.pop(id(request), None)
+            self._live.setdefault(id(request), []).append(trace)
+        if pending:
+            trace.tenant = pending.get("tenant", trace.tenant)
+            trace.frame_bytes = pending.get("frame_bytes",
+                                            trace.frame_bytes)
+        return trace
+
+    def begin_many(self, requests: Sequence[QueryRequest]) -> None:
+        """Begin a slice of requests for the price of a dict write each.
+
+        ``submit_many`` admits a client's whole slice at once; rather
+        than building every context on the submitting thread (64 clients
+        contending over one lock), this records how many contexts each
+        request owes and lets the dispatcher materialise them on first
+        touch (:meth:`claim_round`, :meth:`lookup`, …) — off the
+        clients' critical path, under a single lock acquisition.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            deferred = self._deferred
+            for request in requests:
+                slot = deferred.get(id(request))
+                if slot is None:
+                    deferred[id(request)] = [request, 1]
+                else:
+                    slot[1] += 1
+            self.contexts_created += len(requests)
+
+    def lookup(self, request: QueryRequest) -> TraceContext | None:
+        """The oldest live context for ``request``, if tracing it."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            self._materialize_locked(id(request))
+            stack = self._live.get(id(request))
+            return stack[0] if stack else None
+
+    def lookup_all(self, request: QueryRequest) -> tuple[TraceContext, ...]:
+        """All live contexts for ``request``, oldest first.
+
+        Workloads reuse hot request objects, so one identity can have
+        several contexts in flight at once (one per occurrence); dispatch
+        stages that annotate by occurrence index use this to address the
+        right one.
+        """
+        if not self.enabled:
+            return ()
+        with self._lock:
+            self._materialize_locked(id(request))
+            return tuple(self._live.get(id(request), ()))
+
+    def claim_round(self, requests: Sequence[QueryRequest],
+                    ) -> "list[TraceContext | None]":
+        """Claim the context each position of a dispatch round settles.
+
+        One lock acquisition serves the whole round.  Each request's
+        oldest outstanding context — popped from the eager live stack,
+        or built here straight from its deferred :meth:`begin_many`
+        debt — is retired to the finished log and returned aligned with
+        ``requests``; the *k*-th appearance of a hot request object
+        claims its *k*-th occurrence.  The dispatcher keeps stamping the
+        returned contexts through the engine round, so a concurrent
+        :meth:`drain` may briefly observe a claimed context whose
+        segments are still being filled.  All ``None`` when disabled.
+        """
+        if not self.enabled:
+            return [None] * len(requests)
+        out: list[TraceContext | None] = []
+        with self._lock:
+            live = self._live
+            deferred = self._deferred
+            annotations = self._annotations
+            occurrences = self._occurrences
+            finished = self._finished
+            for request in requests:
+                rid = id(request)
+                stack = live.get(rid)
+                if stack:
+                    # Eager ``begin`` contexts are always older than any
+                    # deferred debt (``begin`` materialises first), so
+                    # popping live-first keeps oldest-first order.
+                    trace = stack.pop(0)
+                    if not stack:
+                        del live[rid]
+                        annotations.pop(rid, None)
+                    finished.append(trace)
+                    out.append(trace)
+                    continue
+                slot = deferred.get(rid)
+                if slot is None:
+                    out.append(None)
+                    continue
+                item_key = request.item_key_cached()
+                identity = (request.subject, item_key)
+                occurrence = occurrences.get(identity, 0)
+                occurrences[identity] = occurrence + 1
+                trace = _blank_context(request.subject, item_key[0],
+                                       item_key, occurrence)
+                if slot[1] <= 1:
+                    del deferred[rid]
+                else:
+                    slot[1] -= 1
+                pending = annotations.pop(rid, None)
+                if pending is not None:
+                    trace.tenant = pending.get("tenant", trace.tenant)
+                    trace.frame_bytes = pending.get("frame_bytes",
+                                                    trace.frame_bytes)
+                finished.append(trace)
+                out.append(trace)
+        return out
+
+    def annotate(self, request: QueryRequest, *, tenant: str | None = None,
+                 frame_bytes: int | None = None) -> None:
+        """Attach wire-level facts before (or after) ``begin``.
+
+        Lets the gateway record tenant and frame size without changing
+        any ``submit`` signature: annotations posted before ``begin``
+        are folded into the new context; posted after, they update the
+        live context directly.  No-op when disabled.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._materialize_locked(id(request))
+            stack = self._live.get(id(request))
+            trace = stack[0] if stack else None
+            if trace is None:
+                slot = self._annotations.setdefault(id(request), {})
+                if tenant is not None:
+                    slot["tenant"] = tenant
+                if frame_bytes is not None:
+                    slot["frame_bytes"] = slot.get("frame_bytes",
+                                                   0) + frame_bytes
+                return
+        if tenant is not None:
+            trace.tenant = tenant
+        if frame_bytes is not None:
+            trace.frame_bytes += frame_bytes
+
+    def finish(self, request: QueryRequest,
+               trace: TraceContext | None = None) -> TraceContext | None:
+        """Close ``request``'s context and move it to the finished log.
+
+        Pops the oldest live context by default — the occurrence the
+        caller is settling.  Error paths that still hold the exact
+        context they began pass it as ``trace`` to close that one
+        specifically (matched by identity).
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            self._materialize_locked(id(request))
+            stack = self._live.get(id(request))
+            if not stack:
+                return None
+            if trace is None:
+                trace = stack.pop(0)
+            else:
+                for i, live in enumerate(stack):
+                    if live is trace:
+                        del stack[i]
+                        break
+                else:
+                    return None
+            if not stack:
+                self._live.pop(id(request), None)
+                self._annotations.pop(id(request), None)
+            self._finished.append(trace)
+        return trace
+
+    # -- cold-path API ------------------------------------------------
+
+    def finished(self) -> list[TraceContext]:
+        """Finished contexts in completion order (a copy)."""
+        with self._lock:
+            return list(self._finished)
+
+    def drain(self) -> list[TraceContext]:
+        """Remove and return all finished contexts."""
+        with self._lock:
+            out = self._finished
+            self._finished = []
+            return out
+
+    def reset(self) -> None:
+        """Forget all live and finished contexts and occurrence counts."""
+        with self._lock:
+            self._live.clear()
+            self._annotations.clear()
+            self._finished.clear()
+            self._occurrences.clear()
+            self._deferred.clear()
+
+
+class TraceRecorder:
+    """Renders finished traces as deterministic JSONL artifacts.
+
+    A trace file is keyed by the workload's root seed: the header line
+    records the seed and record count, then one JSON object per request
+    with sorted keys.  With ``include_wall_clock=False`` (the default
+    for committed artifacts) the duration fields in
+    :data:`WALL_CLOCK_FIELDS` are dropped, so two replays of the same
+    seeded workload through the deterministic dispatch path produce
+    byte-identical files.
+    """
+
+    def __init__(self, root_seed: int) -> None:
+        self.root_seed = int(root_seed)
+
+    def render(self, traces: Iterable[TraceContext | Mapping], *,
+               include_wall_clock: bool = False) -> str:
+        """The JSONL text for ``traces`` (header line + one per trace)."""
+        records = []
+        for trace in traces:
+            record = (dict(trace) if isinstance(trace, Mapping)
+                      else trace.as_record())
+            if not include_wall_clock:
+                for clock_field in WALL_CLOCK_FIELDS:
+                    record.pop(clock_field, None)
+            records.append(record)
+        lines = [json.dumps({"root_seed": self.root_seed,
+                             "records": len(records)}, sort_keys=True)]
+        lines.extend(json.dumps(record, sort_keys=True)
+                     for record in records)
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str | Path,
+              traces: Iterable[TraceContext | Mapping], *,
+              include_wall_clock: bool = False) -> Path:
+        """Write :meth:`render` output to ``path`` and return it."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            self.render(traces, include_wall_clock=include_wall_clock),
+            encoding="utf-8")
+        return target
+
+    @staticmethod
+    def load(path: str | Path) -> tuple[dict, list[dict]]:
+        """Read a trace file back as ``(header, records)``."""
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise ValueError(f"empty trace file: {path}")
+        header = json.loads(lines[0])
+        return header, [json.loads(line) for line in lines[1:] if line]
+
+
+def trace_summary(traces: Sequence[TraceContext]) -> dict:
+    """Aggregate a batch of finished traces into headline numbers.
+
+    Returns request count, cache-hit rate, mean coalesce group size and
+    the share of requests that rode a batched engine call — the quick
+    glance the observability docs walk through.
+    """
+    if not traces:
+        return {"requests": 0, "cache_hit_rate": 0.0,
+                "mean_coalesce_group": 0.0, "batched_share": 0.0}
+    n = len(traces)
+    hits = sum(1 for t in traces if t.cache_hit)
+    grouped = [t.coalesce_group_size for t in traces
+               if t.coalesce_group_size > 0]
+    batched = sum(1 for t in traces if t.batched)
+    return {
+        "requests": n,
+        "cache_hit_rate": hits / n,
+        "mean_coalesce_group": (sum(grouped) / len(grouped)
+                                if grouped else 0.0),
+        "batched_share": batched / n,
+    }

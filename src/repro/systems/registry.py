@@ -16,6 +16,7 @@ from repro.systems.case_study import make_case_study
 from repro.systems.deepstream import make_deepstream
 from repro.systems.dnn import make_bert, make_deepspeech, make_xception
 from repro.systems.hardware import Hardware, hardware_by_name
+from repro.systems.serving_system import make_serving_system
 from repro.systems.sqlite import make_sqlite
 from repro.systems.x264 import make_x264
 
@@ -28,6 +29,7 @@ _FACTORIES: dict[str, Callable[..., ConfigurableSystem]] = {
     "sqlite": make_sqlite,
     "cache_example": make_cache_example,
     "case_study": make_case_study,
+    "serving": make_serving_system,
 }
 
 

@@ -1,0 +1,204 @@
+"""The serving stack itself as a configurable subject system.
+
+This is the reproduction closing the paper's loop on its own deployment:
+the query-serving tier (:mod:`repro.service`) is a configurable system
+like any other — its knobs (``fairness_quantum``, the dispatcher batch
+window, shard count, result-cache capacity, drift threshold) causally
+determine observable service events (queue depth, coalescing rate,
+cache-hit rate, refresh cadence — exactly what
+:class:`~repro.service.metrics.MetricsSnapshot` reports) which in turn
+determine the two serving objectives, tail latency and throughput.
+
+:func:`build_serving_scm` is an analytic twin of that causal story,
+calibrated to the single-CPU CI behaviour of the real stack:
+
+* ``BatchWindowMs`` is the dominant tail-latency driver — every queued
+  request waits the window out before dispatch, so p99 grows roughly
+  linearly with it, while its coalescing benefit saturates quickly.
+* ``Shards`` beyond 1 cost IPC and process overhead without adding
+  compute on one CPU, so the twin charges latency and throughput per
+  extra shard (mirroring the real fleet's behaviour in CI).
+* ``ResultCacheSize`` raises the cache-hit rate with diminishing
+  returns; hits skip engine work entirely.
+* ``DriftThreshold`` sets refresh cadence: refreshing on every wiggle
+  stalls serving, refreshing never risks model staleness (charged as a
+  mild throughput penalty, not a cliff).
+
+The option/metric vocabulary matches the real service, and
+:func:`configuration_to_service_kwargs` maps a configuration of this
+system onto real ``QueryService`` / ``ShardedQueryService`` constructor
+arguments — which is how
+:mod:`repro.evaluation.self_debug_campaign` replays a recommended
+configuration against the recorded workload to verify the twin's advice
+holds on the genuine article.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.scm.mechanisms import (
+    ClippedMechanism,
+    LinearMechanism,
+    SaturatingMechanism,
+)
+from repro.scm.model import StructuralCausalModel
+from repro.scm.noise import GaussianNoise
+from repro.systems.base import ConfigurableSystem, Environment
+from repro.systems.hardware import JETSON_TX2, Hardware
+from repro.systems.options import ConfigurationSpace, NumericOption
+from repro.systems.workloads import Workload
+
+OBJECTIVES = {"P99LatencyMs": "minimize", "ThroughputQps": "maximize"}
+
+#: The service events the twin mediates config → objectives through,
+#: mirroring the :class:`~repro.service.metrics.MetricsSnapshot` surface.
+EVENTS = ("QueueDepth", "CoalesceRate", "CacheHitRate", "RefreshRate")
+
+#: Options the paper-style analyses treat as candidate root causes.
+RELEVANT_OPTIONS = ("BatchWindowMs", "FairnessQuantum", "Shards",
+                    "ResultCacheSize", "DriftThreshold")
+
+
+def build_serving_scm(environment: Environment) -> StructuralCausalModel:
+    """Ground truth of the serving twin (see the module docstring).
+
+    Structure::
+
+        BatchWindowMs ──▶ QueueDepth ──▶ P99LatencyMs
+        BatchWindowMs ──▶ CoalesceRate ─▶ ThroughputQps, P99LatencyMs
+        FairnessQuantum ▶ QueueDepth
+        ResultCacheSize ▶ CacheHitRate ─▶ ThroughputQps, P99LatencyMs
+        DriftThreshold ─▶ RefreshRate ──▶ ThroughputQps, P99LatencyMs
+        Shards ─────────▶ P99LatencyMs, ThroughputQps   (IPC overhead)
+    """
+    compute = environment.hardware.compute_scale
+    intensity = environment.workload.intensity
+    # Requests pile up while the dispatcher sleeps out the window; a
+    # small fairness quantum forces extra drain rounds which also deepen
+    # the queue.  (FairnessQuantum spans 4..64, so the -0.05 slope moves
+    # queue depth by 3 requests across its range — real but secondary.)
+    queue_depth = ClippedMechanism(
+        LinearMechanism({"BatchWindowMs": 0.9 * intensity,
+                         "FairnessQuantum": -0.05},
+                        intercept=6.0),
+        lower=0.0)
+    # Coalescing opportunity saturates fast: nearly all of the win is
+    # captured by a ~2 ms window (the real batcher shows the same knee).
+    coalesce_rate = SaturatingMechanism(
+        driver="BatchWindowMs", scale=9.0, half_point=1.8, baseline=1.0)
+    # Cache hits saturate in capacity; a disabled cache (size 0) hits 0.
+    cache_hit_rate = SaturatingMechanism(
+        driver="ResultCacheSize", scale=0.65, half_point=96.0,
+        baseline=0.0)
+    # Refresh cadence falls as the drift threshold rises (refresh-happy
+    # deployments stall serving; see the latency/throughput charges).
+    refresh_rate = ClippedMechanism(
+        LinearMechanism({"DriftThreshold": -1.1}, intercept=5.0),
+        lower=0.2)
+    # Tail latency: the window is paid almost one-for-one at the tail,
+    # queue depth adds service-order delay, every extra shard charges
+    # IPC hops, refresh stalls land on the tail, and coalescing/cache
+    # hits shave engine time off it.
+    p99_latency = ClippedMechanism(
+        LinearMechanism({"BatchWindowMs": 1.05,
+                         "QueueDepth": 0.35,
+                         "Shards": 2.4 / compute,
+                         "RefreshRate": 0.8,
+                         "CoalesceRate": -0.45,
+                         "CacheHitRate": -6.0},
+                        intercept=7.5 / compute),
+        lower=0.8)
+    # Throughput: coalescing and cache hits multiply useful engine work;
+    # extra shards and refresh churn eat the single CPU.
+    throughput = ClippedMechanism(
+        LinearMechanism({"CoalesceRate": 34.0 * compute,
+                         "CacheHitRate": 260.0 * compute,
+                         "Shards": -45.0,
+                         "RefreshRate": -9.0,
+                         "QueueDepth": -1.2},
+                        intercept=420.0 * compute),
+        lower=20.0)
+    return StructuralCausalModel(
+        exogenous={
+            "BatchWindowMs": (0.5, 1.0, 2.0, 5.0, 20.0, 50.0),
+            "FairnessQuantum": (4.0, 8.0, 16.0, 32.0, 64.0),
+            "Shards": (1.0, 2.0, 3.0, 4.0),
+            "ResultCacheSize": (0.0, 64.0, 256.0, 1024.0),
+            "DriftThreshold": (0.5, 1.0, 2.0, 4.0),
+        },
+        mechanisms={
+            "QueueDepth": queue_depth,
+            "CoalesceRate": coalesce_rate,
+            "CacheHitRate": cache_hit_rate,
+            "RefreshRate": refresh_rate,
+            "P99LatencyMs": p99_latency,
+            "ThroughputQps": throughput,
+        },
+        noise={
+            "QueueDepth": GaussianNoise(0.4),
+            "CoalesceRate": GaussianNoise(0.15),
+            "CacheHitRate": GaussianNoise(0.02),
+            "RefreshRate": GaussianNoise(0.1),
+            "P99LatencyMs": GaussianNoise(0.5),
+            "ThroughputQps": GaussianNoise(6.0),
+        })
+
+
+def make_serving_system(hardware: Hardware = JETSON_TX2,
+                        intensity: float = 1.0) -> ConfigurableSystem:
+    """Instantiate the serving stack as a configurable subject system.
+
+    Parameters
+    ----------
+    hardware:
+        Platform scaling (CI runners behave like a small edge board).
+    intensity:
+        Workload pressure multiplier; heavier client bursts deepen the
+        queue for the same batch window.
+    """
+    space = ConfigurationSpace([
+        NumericOption("BatchWindowMs", (0.5, 1.0, 2.0, 5.0, 20.0, 50.0),
+                      layer="software", default=2.0),
+        NumericOption("FairnessQuantum", (4, 8, 16, 32, 64),
+                      layer="software", default=32),
+        NumericOption("Shards", (1, 2, 3, 4), layer="software", default=1),
+        NumericOption("ResultCacheSize", (0, 64, 256, 1024),
+                      layer="software", default=256),
+        NumericOption("DriftThreshold", (0.5, 1.0, 2.0, 4.0),
+                      layer="software", default=2.0),
+    ])
+    environment = Environment(
+        hardware=hardware,
+        workload=Workload(name="mixed-queries", size=64.0, work_scale=1.0,
+                          intensity=float(intensity)))
+    return ConfigurableSystem(
+        name="serving", space=space, events=list(EVENTS),
+        objectives=OBJECTIVES, scm_factory=build_serving_scm,
+        environment=environment, measurement_cost_seconds=2.0, seed=41)
+
+
+def configuration_to_service_kwargs(
+        configuration: Mapping[str, float]) -> dict:
+    """Map a serving-system configuration onto real service arguments.
+
+    Returns a dict with ``batch_window`` (seconds), ``fairness_quantum``,
+    ``shards``, ``result_cache_size`` and ``drift_threshold`` — the
+    constructor vocabulary of
+    :class:`~repro.service.service.QueryService` (ignore ``shards``) and
+    :class:`~repro.service.sharding.ShardedQueryService`.  This is the
+    bridge the self-debugging campaign crosses from the SCM twin's
+    recommendation back to a deployable configuration.
+    """
+    def value(name: str, default: float) -> float:
+        return float(configuration.get(name, default))
+
+    return {
+        "batch_window": value("BatchWindowMs", 2.0) / 1000.0,
+        "fairness_quantum": max(1, int(round(value("FairnessQuantum",
+                                                   32.0)))),
+        "shards": max(1, int(round(value("Shards", 1.0)))),
+        "result_cache_size": max(0, int(round(value("ResultCacheSize",
+                                                    256.0)))),
+        "drift_threshold": value("DriftThreshold", 2.0),
+    }

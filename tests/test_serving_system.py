@@ -1,0 +1,120 @@
+"""Tests of the serving stack's causal twin (``systems/serving_system``).
+
+The twin is a subject system like any other — registered, sampleable,
+debuggable — whose option/metric vocabulary matches the real service.
+Covered here:
+
+* registration and the configuration-space vocabulary;
+* qualitative ground truth: a huge batch window hurts tail latency, a
+  bigger result cache raises the hit rate and helps throughput, extra
+  shards on one CPU cost rather than pay;
+* the debugger diagnoses the deliberately misconfigured deployment and
+  its recommendation improves the twin's own p99 objective;
+* :func:`~repro.systems.serving_system.configuration_to_service_kwargs`
+  maps configurations onto real service constructor arguments (units
+  included: milliseconds → seconds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.debugger import UnicornDebugger
+from repro.core.unicorn import Unicorn, UnicornConfig
+from repro.systems.registry import get_system, list_systems
+from repro.systems.serving_system import (
+    EVENTS,
+    RELEVANT_OPTIONS,
+    configuration_to_service_kwargs,
+    make_serving_system,
+)
+
+FAULTY = {"BatchWindowMs": 50.0, "ResultCacheSize": 0.0,
+          "DriftThreshold": 0.5}
+
+
+@pytest.fixture(scope="module")
+def system():
+    return make_serving_system()
+
+
+def test_registered_and_well_formed(system):
+    assert "serving" in list_systems()
+    assert get_system("serving").name == system.name == "serving"
+    assert set(system.space.option_names) == set(RELEVANT_OPTIONS)
+    assert set(system.objectives) == {"P99LatencyMs", "ThroughputQps"}
+    assert system.objectives["P99LatencyMs"] == "minimize"
+    assert system.objectives["ThroughputQps"] == "maximize"
+    assert tuple(system.events) == EVENTS
+
+
+def test_ground_truth_batch_window_drives_tail_latency(system):
+    default = system.space.default_configuration()
+    slow = system.space.clamp({**default, "BatchWindowMs": 50.0})
+    fast = system.space.clamp({**default, "BatchWindowMs": 1.0})
+    assert system.true_objective(slow, "P99LatencyMs") > \
+        3.0 * system.true_objective(fast, "P99LatencyMs")
+
+
+def test_ground_truth_result_cache_pays(system):
+    default = system.space.default_configuration()
+    cold = system.space.clamp({**default, "ResultCacheSize": 0.0})
+    warm = system.space.clamp({**default, "ResultCacheSize": 1024.0})
+    assert system.true_objective(warm, "ThroughputQps") > \
+        system.true_objective(cold, "ThroughputQps")
+    assert system.true_objective(warm, "P99LatencyMs") < \
+        system.true_objective(cold, "P99LatencyMs")
+
+
+def test_ground_truth_extra_shards_cost_on_one_cpu(system):
+    default = system.space.default_configuration()
+    one = system.space.clamp({**default, "Shards": 1.0})
+    four = system.space.clamp({**default, "Shards": 4.0})
+    assert system.true_objective(four, "P99LatencyMs") > \
+        system.true_objective(one, "P99LatencyMs")
+    assert system.true_objective(four, "ThroughputQps") < \
+        system.true_objective(one, "ThroughputQps")
+
+
+def test_samples_are_deterministic_and_finite(system):
+    unicorn = Unicorn(system, UnicornConfig(
+        initial_samples=20, budget=40, max_condition_size=2, seed=5))
+    state = unicorn.fit()
+    values = np.array([m.objectives["P99LatencyMs"]
+                       for m in state.measurements])
+    assert np.isfinite(values).all()
+    again = Unicorn(make_serving_system(), UnicornConfig(
+        initial_samples=20, budget=40, max_condition_size=2, seed=5)).fit()
+    assert [m.objectives for m in state.measurements] == \
+        [m.objectives for m in again.measurements]
+
+
+def test_debugger_fixes_the_misconfigured_deployment(system):
+    faulty = system.space.clamp(dict(FAULTY))
+    config = UnicornConfig(initial_samples=30, budget=60,
+                           max_condition_size=2, seed=7)
+    result = UnicornDebugger(system, config).debug(
+        faulty, objectives=["P99LatencyMs"])
+    assert result.changed_options, "debugger changed nothing"
+    recommended = system.space.clamp(dict(result.recommended_configuration))
+    assert system.true_objective(recommended, "P99LatencyMs") < \
+        0.5 * system.true_objective(faulty, "P99LatencyMs")
+    # The dominant misconfiguration is the 50 ms dispatcher window.
+    assert recommended["BatchWindowMs"] < faulty["BatchWindowMs"]
+
+
+def test_configuration_to_service_kwargs_units_and_types(system):
+    kwargs = configuration_to_service_kwargs(
+        {"BatchWindowMs": 5.0, "FairnessQuantum": 16.0, "Shards": 2.0,
+         "ResultCacheSize": 64.0, "DriftThreshold": 1.0})
+    assert kwargs == {"batch_window": 0.005, "fairness_quantum": 16,
+                      "shards": 2, "result_cache_size": 64,
+                      "drift_threshold": 1.0}
+    assert isinstance(kwargs["fairness_quantum"], int)
+    assert isinstance(kwargs["shards"], int)
+    # Defaults fill in for partial configurations; floors apply.
+    partial = configuration_to_service_kwargs({"Shards": 0.0})
+    assert partial["shards"] == 1
+    assert partial["batch_window"] == pytest.approx(0.002)
+    assert partial["result_cache_size"] == 256

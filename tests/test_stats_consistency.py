@@ -1,0 +1,158 @@
+"""Regression tests: stats snapshots are internally consistent mid-burst.
+
+Before ISSUE 10, ``QueryService.stats`` counters were mutated with bare
+``+=`` on the dispatcher and client threads while readers (the gateway's
+``stats`` verb, monitoring loops) read the same object unlocked — a
+snapshot taken mid-burst could observe ``answered`` already incremented
+for work whose ``submitted`` increment it missed, i.e. report more
+settled requests than were ever admitted.  All mutations now happen
+under one stats lock and readers use ``stats_snapshot()``, which copies
+under the same lock.
+
+These tests hammer the snapshot path from a dedicated reader thread
+while a 64-client burst is in flight and assert the invariant
+
+    answered + cancelled + errors + closed_errors <= submitted
+
+holds for *every* observed snapshot, on the single-process service and
+on the sharded fleet, plus the quiescent-end bookkeeping equalities.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.unicorn import Unicorn, UnicornConfig
+from repro.service import (
+    ModelRegistry,
+    QueryService,
+    ShardedQueryService,
+    mixed_workload,
+)
+from repro.systems.cache_example import make_cache_example
+
+SUBJECT = "cache"
+N_CLIENTS = 64
+PER_CLIENT = 2
+
+
+@pytest.fixture(scope="module")
+def served():
+    """A fitted registry plus a 128-request workload for 64 clients."""
+    system = make_cache_example()
+    unicorn = Unicorn(system, UnicornConfig(
+        initial_samples=100, budget=400, max_condition_size=2, seed=3,
+        batched_queries=True))
+    registry = ModelRegistry(capacity=4)
+    entry = registry.register(SUBJECT, unicorn)
+    requests = mixed_workload(SUBJECT, entry.engine, system.objectives,
+                              N_CLIENTS * PER_CLIENT, seed=17,
+                              max_repairs=24)
+    return registry, requests
+
+
+def _hammer_snapshots(snapshot, stop: threading.Event) -> list:
+    """Collect snapshots as fast as possible until ``stop`` is set."""
+    seen = []
+    while not stop.is_set():
+        seen.append(snapshot())
+    seen.append(snapshot())  # one guaranteed post-burst snapshot
+    return seen
+
+
+def _burst(service, requests, n_clients: int) -> None:
+    """Submit the workload from ``n_clients`` concurrent threads."""
+    per_client = len(requests) // n_clients
+    barrier = threading.Barrier(n_clients)
+
+    def client(worker: int) -> None:
+        barrier.wait()
+        lo = worker * per_client
+        for request in requests[lo:lo + per_client]:
+            assert service.submit(request).ok
+
+    threads = [threading.Thread(target=client, args=(w,))
+               for w in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def test_service_snapshots_never_overcount_mid_burst(served):
+    registry, requests = served
+    with QueryService(registry, batch_window=0.001) as service:
+        stop = threading.Event()
+        collected: list = []
+        reader = threading.Thread(
+            target=lambda: collected.extend(
+                _hammer_snapshots(service.stats_snapshot, stop)))
+        reader.start()
+        _burst(service, requests, N_CLIENTS)
+        stop.set()
+        reader.join()
+
+    assert len(collected) >= 2
+    for stats in collected:
+        settled = (stats.answered + stats.cancelled + stats.closed_errors)
+        assert settled <= stats.submitted, (
+            f"snapshot overcounts: {settled} settled vs "
+            f"{stats.submitted} submitted ({stats})")
+        assert sum(stats.per_subject.values()) <= stats.answered
+    final = collected[-1]
+    assert final.submitted == len(requests)
+    assert final.answered == len(requests)
+
+
+def test_sharded_snapshots_never_overcount_mid_burst():
+    specs = {f"cache-{i}": {"system": "cache_example", "n_samples": 40,
+                            "max_condition_size": 2, "seed": i}
+             for i in range(3)}
+    with ShardedQueryService(specs, shards=2,
+                             use_processes=False) as service:
+        reference = service.worker_stats()  # warm the fleet
+        assert len(reference) == 2
+        from repro.service import registry_from_specs
+
+        reference_registry = registry_from_specs(specs)
+        objectives = make_cache_example().objectives
+        requests = []
+        for subject in sorted(specs):
+            requests.extend(mixed_workload(
+                subject, reference_registry.get(subject).engine,
+                objectives, 16, seed=7, max_repairs=24))
+
+        stop = threading.Event()
+        collected: list = []
+        reader = threading.Thread(
+            target=lambda: collected.extend(
+                _hammer_snapshots(service.stats_snapshot, stop)))
+        reader.start()
+        _burst(service, requests, 16)
+        stop.set()
+        reader.join()
+
+    for stats in collected:
+        settled = (stats.answered + stats.cancelled + stats.errors
+                   + stats.closed_errors)
+        assert settled <= stats.submitted, (
+            f"snapshot overcounts: {settled} settled vs "
+            f"{stats.submitted} submitted ({stats})")
+        assert sum(stats.per_shard_answered.values()) <= stats.answered
+    final = collected[-1]
+    assert final.submitted == len(requests) == final.answered
+
+
+def test_snapshot_is_a_copy_not_a_view(served):
+    registry, requests = served
+    with QueryService(registry, batch_window=0.001) as service:
+        assert service.submit(requests[0]).ok
+        snapshot = service.stats_snapshot()
+        before = snapshot.answered
+        for request in requests[1:9]:
+            assert service.submit(request).ok
+        assert snapshot.answered == before  # later traffic can't mutate it
+        snapshot.per_subject["bogus"] = 999
+        assert "bogus" not in service.stats_snapshot().per_subject

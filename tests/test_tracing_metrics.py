@@ -1,0 +1,395 @@
+"""Tests of the observability tier: per-request tracing and metrics.
+
+Covers the contracts ISSUE 10 demands of ``repro.service.tracing`` and
+``repro.service.metrics``:
+
+* **trace completeness** — a concurrent mixed workload served with the
+  tracer on finishes exactly one context per request, with queue/engine
+  segments, coalesce group sizes and cache verdicts filled in;
+* **trace determinism** — the same seeded workload replayed twice
+  through the deterministic dispatch path renders byte-identical JSONL
+  (wall-clock duration fields stripped);
+* **zero overhead when disabled** — a full workload with tracing off
+  allocates no contexts (``contexts_created`` stays 0, asserted via the
+  counter hook);
+* **metrics primitives** — the streaming latency reservoir, the
+  power-of-two batch-size histogram, and the
+  :class:`~repro.service.metrics.MetricsSnapshot` dict round trip;
+* **the wire surface** — the gateway's ``metrics`` verb returns a live
+  snapshot, and tenant/frame-byte annotations land on the traces of
+  requests that arrived through the socket.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.unicorn import Unicorn, UnicornConfig
+from repro.service import (
+    BatchSizeHistogram,
+    GatewayClient,
+    GatewayServer,
+    LatencyReservoir,
+    MetricsSnapshot,
+    ModelRegistry,
+    QueryService,
+    RequestBatcher,
+    Tenant,
+    TraceRecorder,
+    Tracer,
+    canonical_answers,
+    mixed_workload,
+    serve_concurrently,
+    trace_summary,
+)
+from repro.systems.cache_example import make_cache_example
+
+SUBJECT = "cache"
+N_REQUESTS = 64
+N_CLIENTS = 8
+
+
+def _build_registry(result_cache_size: int | None = 256) -> tuple:
+    system = make_cache_example()
+    unicorn = Unicorn(system, UnicornConfig(
+        initial_samples=100, budget=400, max_condition_size=2, seed=3,
+        batched_queries=True))
+    registry = ModelRegistry(capacity=4,
+                             result_cache_size=result_cache_size)
+    entry = registry.register(SUBJECT, unicorn)
+    return registry, entry
+
+
+@pytest.fixture(scope="module")
+def served():
+    """A fitted registry plus its deterministic mixed workload."""
+    registry, entry = _build_registry()
+    system = make_cache_example()
+    requests = mixed_workload(SUBJECT, entry.engine, system.objectives,
+                              N_REQUESTS, seed=11, max_repairs=24)
+    # Untimed warm-up so the first traced dispatch measures dispatch,
+    # not one-time engine cache construction.
+    RequestBatcher().dispatch(entry, requests)
+    return registry, entry, requests
+
+
+# --------------------------------------------------------- trace completeness
+def test_traced_workload_finishes_every_context(served):
+    registry, entry, requests = served
+    tracer = Tracer(enabled=True)
+    with QueryService(registry, batch_window=0.002,
+                      tracer=tracer) as service:
+        responses, _, _ = serve_concurrently(service, requests, N_CLIENTS)
+    assert all(r.ok for r in responses)
+
+    traces = tracer.drain()
+    assert len(traces) == len(requests)
+    assert not tracer.finished()  # drain removed everything
+    assert tracer.contexts_created == len(requests)
+
+    for trace in traces:
+        assert trace.subject == SUBJECT
+        assert trace.request_id.startswith(f"{SUBJECT}/")
+        assert trace.error == ""
+        assert trace.total_seconds > 0.0
+        assert trace.queue_wait_seconds >= 0.0
+        assert trace.coalesce_group_size >= 1
+
+    summary = trace_summary(traces)
+    assert summary["requests"] == len(requests)
+    assert 0.0 <= summary["cache_hit_rate"] <= 1.0
+    assert summary["mean_coalesce_group"] >= 1.0
+
+
+def test_trace_ids_unique_even_for_repeated_requests(served):
+    registry, entry, requests = served
+    tracer = Tracer(enabled=True)
+    with QueryService(registry, batch_window=0.002,
+                      tracer=tracer) as service:
+        serve_concurrently(service, requests, N_CLIENTS)
+    ids = [t.request_id for t in tracer.drain()]
+    # The workload deliberately repeats hot requests; occurrence indices
+    # must still make every trace id unique.
+    assert len(set(ids)) == len(ids)
+
+
+# --------------------------------------------------------- trace determinism
+def _deterministic_trace_jsonl(seed: int) -> str:
+    """One serial replay of the seeded workload, rendered as JSONL."""
+    registry, entry = _build_registry()
+    system = make_cache_example()
+    requests = mixed_workload(SUBJECT, entry.engine, system.objectives,
+                              N_REQUESTS, seed=seed, max_repairs=24)
+    tracer = Tracer(enabled=True)
+    batcher = RequestBatcher()
+    tracer.begin_many(requests)
+    traces = tracer.claim_round(requests)
+    responses = batcher.dispatch(entry, requests, traces=traces)
+    assert all(r.ok for r in responses)
+    return TraceRecorder(root_seed=seed).render(tracer.drain())
+
+
+def test_trace_record_byte_identical_across_replays():
+    first = _deterministic_trace_jsonl(seed=11)
+    second = _deterministic_trace_jsonl(seed=11)
+    assert first == second
+    header = first.splitlines()[0]
+    assert '"records": 64' in header and '"root_seed": 11' in header
+
+
+def test_trace_record_write_and_load_round_trip(tmp_path):
+    registry, entry = _build_registry()
+    system = make_cache_example()
+    requests = mixed_workload(SUBJECT, entry.engine, system.objectives,
+                              16, seed=5, max_repairs=24)
+    tracer = Tracer(enabled=True)
+    tracer.begin_many(requests)
+    RequestBatcher().dispatch(entry, requests,
+                              traces=tracer.claim_round(requests))
+
+    path = TraceRecorder(root_seed=5).write(tmp_path / "trace.jsonl",
+                                            tracer.drain())
+    header, records = TraceRecorder.load(path)
+    assert header == {"root_seed": 5, "records": 16}
+    assert len(records) == 16
+    for record in records:
+        assert "queue_wait_seconds" not in record  # wall clock stripped
+        assert record["subject"] == SUBJECT
+
+
+# ------------------------------------------------- zero overhead when disabled
+def test_disabled_tracer_allocates_nothing(served):
+    registry, entry, requests = served
+    with QueryService(registry, batch_window=0.002) as service:
+        tracer = service.tracer  # default: disabled
+        assert not tracer.enabled
+        responses, _, _ = serve_concurrently(service, requests, N_CLIENTS)
+    assert all(r.ok for r in responses)
+    assert tracer.contexts_created == 0
+    assert tracer.finished() == []
+    assert tracer.begin(requests[0]) is None
+    assert tracer.lookup(requests[0]) is None
+    assert tracer.contexts_created == 0
+
+
+def test_tracing_does_not_change_answers(served):
+    registry, entry, requests = served
+    reference = RequestBatcher().serial_dispatch(entry, requests)
+    tracer = Tracer(enabled=True)
+    with QueryService(registry, batch_window=0.002,
+                      tracer=tracer) as service:
+        responses, _, _ = serve_concurrently(service, requests, N_CLIENTS)
+    assert canonical_answers(responses) == canonical_answers(reference)
+
+
+# ---------------------------------------------------------- metrics primitives
+def test_latency_reservoir_percentiles():
+    reservoir = LatencyReservoir(capacity=128)
+    assert reservoir.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    reservoir.record_many([i / 1000.0 for i in range(1, 101)])
+    quantiles = reservoir.percentiles()
+    assert quantiles["p50"] == pytest.approx(50.0, abs=1.0)
+    assert quantiles["p95"] == pytest.approx(95.0, abs=1.0)
+    assert quantiles["p99"] == pytest.approx(99.0, abs=1.0)
+    assert reservoir.count == 100
+
+
+def test_latency_reservoir_bounded_memory():
+    reservoir = LatencyReservoir(capacity=32)
+    reservoir.record_many([1.0] * 1000)
+    assert reservoir.count == 1000
+    assert len(reservoir.samples()) == 32
+
+
+def test_batch_size_histogram_buckets():
+    histogram = BatchSizeHistogram()
+    for size in (1, 1, 2, 3, 5, 9, 2048, 5000):
+        histogram.record(size)
+    buckets = histogram.as_dict()
+    assert buckets["1"] == 2
+    assert buckets["2-3"] == 2
+    assert buckets["4-7"] == 1
+    assert buckets["8-15"] == 1
+    assert buckets["2048+"] == 2
+    assert histogram.total() == 8
+
+
+def test_metrics_snapshot_dict_round_trip():
+    snapshot = MetricsSnapshot(
+        queue_depth=3, in_flight=2, submitted=10, answered=8,
+        coalescing_ratio=1.5, cache_hits=4, cache_misses=6, refreshes=1,
+        batch_histogram={"1": 2, "2-3": 3},
+        latency_ms={"p50": 1.0, "p95": 2.0, "p99": 3.0},
+        latency_samples=8)
+    assert MetricsSnapshot.from_dict(snapshot.as_dict()) == snapshot
+
+
+def test_service_metrics_snapshot_reflects_served_traffic(served):
+    registry, entry, requests = served
+    with QueryService(registry, batch_window=0.002) as service:
+        responses, _, _ = serve_concurrently(service, requests, N_CLIENTS)
+        snapshot = service.metrics_snapshot()
+    assert all(r.ok for r in responses)
+    assert snapshot.submitted == len(requests)
+    assert snapshot.answered == len(requests)
+    assert snapshot.in_flight == 0
+    assert snapshot.queue_depth == 0
+    assert snapshot.latency_samples == len(requests)
+    assert snapshot.latency_ms["p99"] >= snapshot.latency_ms["p50"] > 0.0
+    assert sum(snapshot.batch_histogram.values()) > 0
+
+
+# ------------------------------------------------------------- wire surface
+def test_gateway_metrics_verb_and_trace_annotations(served):
+    registry, entry, requests = served
+    tracer = Tracer(enabled=True)
+    tenants = {"key-a": Tenant("tenant-a")}
+    with QueryService(registry, batch_window=0.002,
+                      tracer=tracer) as service:
+        with GatewayServer(service, tenants=tenants) as gateway:
+            with GatewayClient(gateway.address, api_key="key-a") as client:
+                for request in requests[:4]:
+                    assert client.submit(request).ok
+                metrics = client.metrics()
+    assert metrics["submitted"] >= 4
+    assert metrics["answered"] >= 4
+    assert "latency_ms" in metrics and "batch_histogram" in metrics
+    # Round-trips through the typed snapshot.
+    assert MetricsSnapshot.from_dict(metrics).submitted == \
+        metrics["submitted"]
+
+    traces = tracer.drain()
+    assert len(traces) == 4
+    for trace in traces:
+        assert trace.tenant == "tenant-a"
+        assert trace.frame_bytes > 0
+
+
+def test_item_keys_lead_with_kind(served):
+    """Every request kind's item key starts with ``kind.value``.
+
+    The tracer reads the kind straight out of the item key
+    (``item_key[0]``) instead of touching the ``kind`` property per
+    context, so this ordering is a load-bearing invariant for every
+    request class, not a convention.
+    """
+    registry, entry, requests = served
+    assert {r.kind.value for r in requests} >= {"ace", "effect",
+                                                "satisfaction", "repair"}
+    for request in requests:
+        assert request.item_key()[0] == request.kind.value
+        assert request.item_key_cached() == request.item_key()
+
+
+def test_tracer_annotate_before_and_after_begin(served):
+    registry, entry, requests = served
+    request = requests[0]
+    tracer = Tracer(enabled=True)
+    tracer.annotate(request, tenant="early", frame_bytes=10)
+    trace = tracer.begin(request)
+    assert trace.tenant == "early"
+    assert trace.frame_bytes == 10
+    tracer.annotate(request, frame_bytes=5)
+    assert trace.frame_bytes == 15
+    assert tracer.finish(request) is trace
+
+
+# ------------------------------------------------- deferred-begin mechanics
+def test_deferred_begin_materializes_on_first_touch(served):
+    """``begin_many`` only records a debt; readers build the contexts."""
+    registry, entry, requests = served
+    request = requests[0]
+    tracer = Tracer(enabled=True)
+    tracer.annotate(request, tenant="wire", frame_bytes=7)
+    tracer.begin_many([request, request])
+    assert tracer.contexts_created == 2
+    # lookup materialises both deferred contexts; annotations folded
+    # into the first, occurrences assigned in begin order.
+    first = tracer.lookup(request)
+    assert first is not None and first.tenant == "wire"
+    assert first.frame_bytes == 7
+    stack = tracer.lookup_all(request)
+    assert len(stack) == 2 and stack[0] is first
+    assert (stack[0].occurrence, stack[1].occurrence) == (0, 1)
+    assert stack[0].request_id != stack[1].request_id
+    assert tracer.finish(request) is first
+    assert tracer.finish(request) is stack[1]
+    assert tracer.lookup(request) is None
+
+
+def test_claim_round_mixes_eager_and_deferred(served):
+    """One claim pass serves eager ``begin`` and deferred ``begin_many``.
+
+    The k-th appearance of a hot request object must claim its k-th
+    occurrence, and every claimed context lands in the finished log
+    without a separate finish call.
+    """
+    registry, entry, requests = served
+    hot, cold = requests[0], requests[1]
+    tracer = Tracer(enabled=True)
+    eager = tracer.begin(hot)          # occurrence 0, eager
+    tracer.begin_many([hot, cold])     # hot occurrence 1 deferred
+    claimed = tracer.claim_round([hot, hot, cold, requests[2]])
+    assert claimed[0] is eager                      # oldest first
+    assert claimed[1] is not eager
+    assert claimed[1].occurrence == 1
+    assert claimed[2].subject == cold.subject
+    assert claimed[3] is None                       # never begun
+    assert tracer.lookup(hot) is None               # all retired
+    assert [t.occurrence for t in tracer.drain()
+            if t.item_key == hot.item_key()] == [0, 1]
+
+
+def test_finish_by_identity_closes_that_context(served):
+    """Error paths pass the exact context they began; finish must pop
+    that one, not the oldest."""
+    registry, entry, requests = served
+    request = requests[0]
+    tracer = Tracer(enabled=True)
+    first = tracer.begin(request)
+    second = tracer.begin(request)
+    assert tracer.finish(request, second) is second
+    assert tracer.lookup(request) is first
+    foreign = Tracer(enabled=True).begin(request)
+    assert tracer.finish(request, foreign) is None  # not in the stack
+    assert tracer.finish(request) is first
+
+
+def test_tracer_reset_forgets_everything(served):
+    registry, entry, requests = served
+    tracer = Tracer(enabled=True)
+    tracer.begin(requests[0])
+    tracer.begin_many(requests[:4])
+    tracer.annotate(requests[5], tenant="t")
+    tracer.finish(requests[0])
+    tracer.reset()
+    assert tracer.finished() == []
+    assert tracer.lookup(requests[0]) is None
+    # Occurrence counters restart: a fresh begin is occurrence 0 again.
+    assert tracer.begin(requests[0]).occurrence == 0
+
+
+def test_trace_summary_of_nothing_is_zeroes():
+    assert trace_summary([]) == {"requests": 0, "cache_hit_rate": 0.0,
+                                 "mean_coalesce_group": 0.0,
+                                 "batched_share": 0.0}
+
+
+def test_trace_recorder_rejects_empty_file(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("", encoding="utf-8")
+    with pytest.raises(ValueError, match="empty trace file"):
+        TraceRecorder.load(empty)
+
+
+def test_metrics_primitives_validate_arguments():
+    with pytest.raises(ValueError, match="capacity"):
+        LatencyReservoir(capacity=0)
+    with pytest.raises(ValueError, match="bucket"):
+        BatchSizeHistogram(n_buckets=0)
+    reservoir = LatencyReservoir(capacity=4)
+    reservoir.record(0.5)  # singular hot-path variant
+    assert reservoir.count == 1
+    histogram = BatchSizeHistogram()
+    histogram.record(0)  # empty dispatches are not counted
+    assert histogram.total() == 0
